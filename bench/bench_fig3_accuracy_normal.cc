@@ -1,0 +1,38 @@
+// Fig. 3c/3g/3k — latency / runtime / memory while varying the mean of the
+// *normally* distributed historical accuracy, mu in {0.82..0.90}, sigma =
+// 0.05 (Table IV).
+//
+// Run:  ./build/bench/bench_fig3_accuracy_normal [--paper] [--reps=30]
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "gen/synthetic.h"
+
+int main(int argc, char** argv) {
+  auto options = ltc::bench::ParseBenchFlags(argc, argv);
+  if (!options.ok()) {
+    std::fprintf(stderr, "%s\n", options.status().ToString().c_str());
+    return options.status().IsFailedPrecondition() ? 0 : 1;
+  }
+
+  std::vector<ltc::bench::BenchCase> cases;
+  for (double mu : {0.82, 0.84, 0.86, 0.88, 0.90}) {
+    cases.push_back(ltc::bench::BenchCase{
+        ltc::StrFormat("%.2f", mu), [mu](std::uint64_t seed) {
+          ltc::gen::SyntheticConfig cfg = ltc::bench::BaseSyntheticConfig();
+          cfg.distribution = ltc::gen::AccuracyDistribution::kNormal;
+          cfg.accuracy_mean = mu;
+          cfg.seed = seed;
+          return ltc::gen::GenerateSynthetic(cfg);
+        }});
+  }
+
+  const auto status = ltc::bench::RunFigureBench("fig3_accuracy_normal", "mu",
+                                                 cases, options.value());
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

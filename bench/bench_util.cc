@@ -1,0 +1,163 @@
+#include "bench/bench_util.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "algo/registry.h"
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "model/eligibility.h"
+#include "sim/engine.h"
+#include "sim/metrics.h"
+
+namespace ltc {
+namespace bench {
+
+namespace {
+
+Flag<bool> FLAG_paper("paper",
+                      false,
+                      "run the paper's full Table IV/V factors (slow)");
+Flag<std::int64_t> FLAG_reps("reps", 3, "repetitions per point (paper: 30)");
+Flag<std::int64_t> FLAG_seed("seed", 1, "base RNG seed");
+Flag<std::string> FLAG_out_dir("out_dir", "results", "CSV output directory");
+Flag<std::string> FLAG_skip("skip", "",
+                            "comma-separated algorithm names to skip");
+
+}  // namespace
+
+bool PaperScale() { return FLAG_paper.Get(); }
+
+double ScaleFactor() { return PaperScale() ? 1.0 : 0.1; }
+
+gen::SyntheticConfig BaseSyntheticConfig() {
+  gen::SyntheticConfig cfg;  // Table IV bold defaults at paper scale
+  const double s = ScaleFactor();
+  cfg.num_tasks = ScaledCount(cfg.num_tasks);
+  cfg.num_workers = ScaledCount(cfg.num_workers);
+  cfg.grid_side *= std::sqrt(s);
+  return cfg;
+}
+
+std::int64_t ScaledCount(std::int64_t paper_value) {
+  return std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::llround(static_cast<double>(paper_value) * ScaleFactor())));
+}
+
+StatusOr<BenchOptions> ParseBenchFlags(int argc, char** argv) {
+  LTC_RETURN_IF_ERROR(ParseCommandLine(argc, argv));
+  BenchOptions options;
+  options.reps = FLAG_reps.Get();
+  options.seed = static_cast<std::uint64_t>(FLAG_seed.Get());
+  options.out_dir = FLAG_out_dir.Get();
+  options.paper_scale = FLAG_paper.Get();
+  if (!FLAG_skip.Get().empty()) {
+    for (auto& name : Split(FLAG_skip.Get(), ',')) {
+      options.skip.push_back(Trim(name));
+    }
+  }
+  if (options.reps <= 0) {
+    return Status::InvalidArgument("--reps must be positive");
+  }
+  return options;
+}
+
+Status RunFigureBench(const std::string& figure, const std::string& factor,
+                      const std::vector<BenchCase>& cases,
+                      const BenchOptions& options) {
+  return RunFigureBenchWithAlgorithms(figure, factor, cases,
+                                      algo::StandardAlgorithms(), options);
+}
+
+Status RunFigureBenchWithAlgorithms(const std::string& figure,
+                                    const std::string& factor,
+                                    const std::vector<BenchCase>& cases,
+                                    const std::vector<std::string>& algorithms,
+                                    const BenchOptions& options) {
+  std::vector<std::string> roster;
+  for (const auto& name : algorithms) {
+    bool skipped = false;
+    for (const auto& skip : options.skip) skipped |= (skip == name);
+    if (!skipped) roster.push_back(name);
+  }
+  if (roster.empty()) {
+    return Status::InvalidArgument("all algorithms skipped");
+  }
+
+  std::vector<std::string> header = {factor};
+  header.insert(header.end(), roster.begin(), roster.end());
+  TablePrinter latency_table(header);
+  TablePrinter runtime_table(header);
+  TablePrinter memory_table(header);
+  TablePrinter completion_table(header);
+
+  std::printf("== %s: %lld rep(s) per point, scale=%s ==\n", figure.c_str(),
+              static_cast<long long>(options.reps),
+              options.paper_scale ? "paper" : "1/10");
+  Stopwatch total_watch;
+  for (const auto& bench_case : cases) {
+    std::map<std::string, sim::AggregateMetrics> agg;
+    for (std::int64_t rep = 0; rep < options.reps; ++rep) {
+      const std::uint64_t seed =
+          options.seed + static_cast<std::uint64_t>(rep) * 7919;
+      LTC_ASSIGN_OR_RETURN(model::ProblemInstance instance,
+                           bench_case.make(seed));
+      LTC_ASSIGN_OR_RETURN(model::EligibilityIndex index,
+                           model::EligibilityIndex::Build(&instance));
+      for (const auto& name : roster) {
+        sim::EngineOptions engine_options;
+        engine_options.seed = seed;
+        LTC_ASSIGN_OR_RETURN(
+            sim::RunMetrics metrics,
+            sim::RunAlgorithm(name, instance, index, engine_options));
+        agg[name].Accumulate(metrics);
+      }
+    }
+    std::vector<std::string> latency_row = {bench_case.label};
+    std::vector<std::string> runtime_row = {bench_case.label};
+    std::vector<std::string> memory_row = {bench_case.label};
+    std::vector<std::string> completion_row = {bench_case.label};
+    for (const auto& name : roster) {
+      auto& a = agg[name];
+      a.Finalize();
+      latency_row.push_back(StrFormat("%.1f", a.mean_latency));
+      runtime_row.push_back(StrFormat("%.4f", a.mean_runtime_seconds));
+      memory_row.push_back(
+          StrFormat("%.2f", a.mean_peak_memory_bytes / (1024.0 * 1024.0)));
+      completion_row.push_back(
+          StrFormat("%lld/%lld", static_cast<long long>(a.completed_runs),
+                    static_cast<long long>(a.runs)));
+    }
+    latency_table.AddRow(latency_row);
+    runtime_table.AddRow(runtime_row);
+    memory_table.AddRow(memory_row);
+    completion_table.AddRow(completion_row);
+    std::printf("  %s = %s done (%.1fs elapsed)\n", factor.c_str(),
+                bench_case.label.c_str(), total_watch.ElapsedSeconds());
+  }
+
+  std::printf("\n-- %s: latency (mean max worker index) --\n%s", figure.c_str(),
+              latency_table.Render().c_str());
+  std::printf("\n-- %s: runtime (mean seconds) --\n%s", figure.c_str(),
+              runtime_table.Render().c_str());
+  std::printf("\n-- %s: peak memory (mean MiB) --\n%s", figure.c_str(),
+              memory_table.Render().c_str());
+  std::printf("\n-- %s: completed runs --\n%s\n", figure.c_str(),
+              completion_table.Render().c_str());
+
+  LTC_RETURN_IF_ERROR(
+      latency_table.WriteCsv(options.out_dir + "/" + figure + "_latency.csv"));
+  LTC_RETURN_IF_ERROR(
+      runtime_table.WriteCsv(options.out_dir + "/" + figure + "_runtime.csv"));
+  LTC_RETURN_IF_ERROR(
+      memory_table.WriteCsv(options.out_dir + "/" + figure + "_memory.csv"));
+  return Status::OK();
+}
+
+}  // namespace bench
+}  // namespace ltc

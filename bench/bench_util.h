@@ -1,0 +1,87 @@
+// Shared harness for the figure-reproduction bench binaries.
+//
+// Each bench binary declares the factor sweep of one paper-figure column
+// (e.g. Fig. 3a/e/i = latency/runtime/memory vs |T|) as a list of
+// BenchCase's; the harness runs every algorithm of the paper's roster on
+// `reps` freshly-seeded instances per case, and emits three paper-style
+// tables — mean latency (max worker index), mean runtime, mean peak memory —
+// plus CSVs under results/.
+//
+// Common flags (defined in bench_util.cc):
+//   --paper      run at the paper's full Table IV/V factors instead of the
+//                1/10 laptop scale
+//   --reps=N     repetitions per point (paper: 30; default: 3)
+//   --seed=S     base RNG seed
+//   --out_dir=D  CSV output directory (default: results)
+//   --skip=A,B   comma-separated algorithms to skip (e.g. MCF-LTC at the
+//                largest scalability points)
+
+#ifndef LTC_BENCH_BENCH_UTIL_H_
+#define LTC_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/string_util.h"
+#include "gen/synthetic.h"
+#include "model/problem.h"
+
+namespace ltc {
+namespace bench {
+
+/// One x-axis point of a figure: a label and an instance factory.
+struct BenchCase {
+  /// Factor value as printed on the x axis ("1000", "0.06", ...).
+  std::string label;
+  /// Builds the instance for one repetition (seed varies per rep).
+  std::function<StatusOr<model::ProblemInstance>(std::uint64_t seed)> make;
+};
+
+/// Harness configuration resolved from flags.
+struct BenchOptions {
+  std::int64_t reps = 3;
+  std::uint64_t seed = 1;
+  std::string out_dir = "results";
+  std::vector<std::string> skip;  // algorithm names to skip
+  bool paper_scale = false;
+};
+
+/// Parses the common bench flags (call from main before building cases).
+/// Returns FailedPrecondition when --help was requested.
+StatusOr<BenchOptions> ParseBenchFlags(int argc, char** argv);
+
+/// True when --paper was passed (full Table IV/V factors).
+bool PaperScale();
+
+/// The 1/10 laptop scale factor applied when --paper is absent.
+double ScaleFactor();
+
+/// Table IV's bold default factors, scaled by ScaleFactor(): counts scale
+/// linearly, the grid side by sqrt(scale) so worker/task densities — which
+/// drive feasibility and eligibility degrees — match the paper's setup.
+gen::SyntheticConfig BaseSyntheticConfig();
+
+/// Scales a paper-level count by ScaleFactor() (at least 1).
+std::int64_t ScaledCount(std::int64_t paper_value);
+
+/// Runs the sweep and prints/writes the three metric tables.
+/// `figure` names the output files, e.g. "fig3_tasks" ->
+/// results/fig3_tasks_latency.csv, ..._runtime.csv, ..._memory.csv.
+Status RunFigureBench(const std::string& figure, const std::string& factor,
+                      const std::vector<BenchCase>& cases,
+                      const BenchOptions& options);
+
+/// Like RunFigureBench but with an explicit algorithm roster (ablations).
+Status RunFigureBenchWithAlgorithms(const std::string& figure,
+                                    const std::string& factor,
+                                    const std::vector<BenchCase>& cases,
+                                    const std::vector<std::string>& algorithms,
+                                    const BenchOptions& options);
+
+}  // namespace bench
+}  // namespace ltc
+
+#endif  // LTC_BENCH_BENCH_UTIL_H_

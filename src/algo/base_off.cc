@@ -1,0 +1,69 @@
+#include "algo/base_off.h"
+
+#include <vector>
+
+#include "common/heap.h"
+
+namespace ltc {
+namespace algo {
+
+StatusOr<ScheduleResult> BaseOff::Run(const model::ProblemInstance& instance,
+                                      const model::EligibilityIndex& index) {
+  LTC_RETURN_IF_ERROR(instance.Validate());
+  const double delta = instance.Delta();
+  ScheduleResult result(instance.num_tasks(), delta);
+
+  // Offline pass 1: per-task count of eligible workers over the full stream.
+  std::vector<std::int64_t> future_count(
+      static_cast<std::size_t>(instance.num_tasks()), 0);
+  std::vector<model::TaskId> eligible;
+  for (const model::Worker& w : instance.workers) {
+    index.EligibleTasks(w, &eligible);
+    for (model::TaskId t : eligible) {
+      ++future_count[static_cast<std::size_t>(t)];
+    }
+  }
+
+  // Pass 2: walk the stream; each worker takes the K scarcest uncompleted
+  // eligible tasks. Scarcity = eligible workers arriving strictly later.
+  for (const model::Worker& w : instance.workers) {
+    ++result.stats.workers_seen;
+    index.EligibleTasks(w, &eligible);
+    // The current worker no longer counts as "remaining" for its tasks.
+    for (model::TaskId t : eligible) {
+      --future_count[static_cast<std::size_t>(t)];
+    }
+    if (result.arrangement.AllCompleted()) continue;
+
+    // Keep the K *scarcest* tasks: score = -future_count so the bounded
+    // max-heap retains the smallest counts (ties -> lower id).
+    BoundedTopK heap(static_cast<std::size_t>(instance.capacity));
+    for (model::TaskId t : eligible) {
+      if (result.arrangement.TaskCompleted(t)) continue;
+      heap.Push(-static_cast<double>(future_count[static_cast<std::size_t>(t)]),
+                t);
+    }
+    if (heap.empty()) continue;
+    bool used = false;
+    for (const auto& item : heap.TakeDescending()) {
+      const auto t = static_cast<model::TaskId>(item.id);
+      result.arrangement.Add(w.index, t, instance.AccStar(w.index, t));
+      result.stats.total_acc_star += instance.AccStar(w.index, t);
+      ++result.stats.assignments;
+      used = true;
+    }
+    if (used) ++result.stats.workers_used;
+    if (result.arrangement.AllCompleted()) {
+      // Later workers contribute nothing; stop scanning (counts no longer
+      // needed once every task reached delta).
+      break;
+    }
+  }
+
+  result.completed = result.arrangement.AllCompleted();
+  result.latency = result.arrangement.MaxWorkerIndex();
+  return result;
+}
+
+}  // namespace algo
+}  // namespace ltc

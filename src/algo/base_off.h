@@ -1,0 +1,38 @@
+// Base-off: the paper's offline baseline (Sec. V-A) — "tasks with fewer
+// workers nearby (from the remaining workers) are greedily assigned to the
+// new worker when s/he arrives on the platform".
+//
+// It walks the stream in arrival order but exploits offline knowledge: for
+// every task it maintains how many *future* workers could still serve it,
+// and steers each worker toward the tasks that will see the fewest future
+// helpers (scarcity-first).
+
+#ifndef LTC_ALGO_BASE_OFF_H_
+#define LTC_ALGO_BASE_OFF_H_
+
+#include <string>
+
+#include "algo/scheduler.h"
+
+namespace ltc {
+namespace algo {
+
+/// \brief The Base-off offline baseline scheduler.
+///
+/// Interpretation note (DESIGN.md): "remaining workers" counts workers with
+/// arrival index strictly greater than the current one; ties in scarcity
+/// prefer the lower task id. Deterministic.
+class BaseOff : public OfflineScheduler {
+ public:
+  BaseOff() = default;
+
+  std::string Name() const override { return "Base-off"; }
+
+  StatusOr<ScheduleResult> Run(const model::ProblemInstance& instance,
+                               const model::EligibilityIndex& index) override;
+};
+
+}  // namespace algo
+}  // namespace ltc
+
+#endif  // LTC_ALGO_BASE_OFF_H_

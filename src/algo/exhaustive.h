@@ -1,0 +1,50 @@
+// Exhaustive offline optimum for tiny instances.
+//
+// The offline LTC problem is NP-hard (paper Theorem 1); this solver finds the
+// true optimum by searching, for increasing prefix lengths n, whether workers
+// 1..n can complete every task. It exists to ground-truth the approximation
+// behaviour of MCF-LTC and the online algorithms in tests — not for
+// production workloads (complexity is exponential in n and |T|).
+
+#ifndef LTC_ALGO_EXHAUSTIVE_H_
+#define LTC_ALGO_EXHAUSTIVE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "algo/scheduler.h"
+
+namespace ltc {
+namespace algo {
+
+/// Safety limits for the exponential search.
+struct ExhaustiveOptions {
+  /// Hard cap on instance size: refuse larger inputs up front.
+  std::int64_t max_workers = 12;
+  std::int64_t max_tasks = 6;
+  /// Abort the DFS after this many explored nodes (ResourceExhausted).
+  std::int64_t max_search_nodes = 20'000'000;
+};
+
+/// \brief Branch-and-bound optimal scheduler.
+///
+/// Guarantees: if Run returns completed=true, `latency` is the minimum of
+/// MinMax(M) over all feasible arrangements. If the instance is infeasible
+/// (even the full stream cannot complete the tasks), completed=false.
+class Exhaustive : public OfflineScheduler {
+ public:
+  explicit Exhaustive(ExhaustiveOptions options = {}) : options_(options) {}
+
+  std::string Name() const override { return "Exhaustive"; }
+
+  StatusOr<ScheduleResult> Run(const model::ProblemInstance& instance,
+                               const model::EligibilityIndex& index) override;
+
+ private:
+  ExhaustiveOptions options_;
+};
+
+}  // namespace algo
+}  // namespace ltc
+
+#endif  // LTC_ALGO_EXHAUSTIVE_H_

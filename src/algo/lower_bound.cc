@@ -1,0 +1,63 @@
+#include "algo/lower_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "model/quality.h"
+
+namespace ltc {
+namespace algo {
+
+StatusOr<InstanceLowerBound> ComputeLowerBound(
+    const model::ProblemInstance& instance,
+    const model::EligibilityIndex& index) {
+  LTC_RETURN_IF_ERROR(instance.Validate());
+  const double delta = instance.Delta();
+  InstanceLowerBound bound;
+
+  // Work bound.
+  bound.work_bound = static_cast<std::int64_t>(
+      std::ceil(static_cast<double>(instance.num_tasks()) * delta /
+                    static_cast<double>(instance.capacity) -
+                model::kQualityTol));
+
+  // Supply bound: stream the workers once, accumulating per-task eligible
+  // Acc*; a task's earliest completion index is the arrival that first lifts
+  // its cumulative supply to delta.
+  std::vector<double> supply(static_cast<std::size_t>(instance.num_tasks()),
+                             0.0);
+  std::vector<std::int64_t> earliest(
+      static_cast<std::size_t>(instance.num_tasks()), 0);
+  std::int64_t incomplete = instance.num_tasks();
+  std::vector<model::TaskId> eligible;
+  for (const model::Worker& w : instance.workers) {
+    if (incomplete == 0) break;
+    index.EligibleTasks(w, &eligible);
+    for (model::TaskId t : eligible) {
+      const auto ti = static_cast<std::size_t>(t);
+      if (earliest[ti] > 0) continue;
+      supply[ti] += instance.AccStar(w.index, t);
+      if (model::ReachedDelta(supply[ti], delta)) {
+        earliest[ti] = w.index;
+        --incomplete;
+      }
+    }
+  }
+  for (std::size_t ti = 0; ti < earliest.size(); ++ti) {
+    if (earliest[ti] == 0) {
+      bound.feasible = false;
+      continue;
+    }
+    if (earliest[ti] > bound.supply_bound) {
+      bound.supply_bound = earliest[ti];
+      bound.binding_task = static_cast<model::TaskId>(ti);
+    }
+  }
+
+  bound.combined = std::max(bound.supply_bound, bound.work_bound);
+  return bound;
+}
+
+}  // namespace algo
+}  // namespace ltc

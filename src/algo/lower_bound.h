@@ -1,0 +1,57 @@
+// Instance-specific lower bounds on the optimal maximum latency.
+//
+// Theorem 2's |T|delta/K bound (model/quality.h) ignores the instance's
+// geometry. The bounds here exploit it:
+//
+//  * Supply bound: task t cannot complete before the arrival of the j-th
+//    eligible worker, where j is the minimal prefix of t's eligible-worker
+//    stream whose total Acc* reaches delta (even granting every one of
+//    those workers a free capacity slot for t). The bound is the max over
+//    tasks — it is what pins the "straggler-bound" plateaus seen in the
+//    scaled-down figures (EXPERIMENTS.md).
+//
+//  * Work bound: the whole instance needs at least ceil(total demand /
+//    best-case per-worker contribution) arrivals.
+//
+// Both are valid lower bounds for *any* feasible arrangement, online or
+// offline, so tests compare every algorithm's latency against them.
+
+#ifndef LTC_ALGO_LOWER_BOUND_H_
+#define LTC_ALGO_LOWER_BOUND_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "model/eligibility.h"
+#include "model/problem.h"
+
+namespace ltc {
+namespace algo {
+
+/// Instance-specific latency lower bounds (0 components mean "no bound").
+struct InstanceLowerBound {
+  /// Max over tasks of the earliest arrival index by which the task's
+  /// eligible Acc* supply first covers delta. 0 if some task can never
+  /// complete (infeasible instance — reported via `feasible`).
+  std::int64_t supply_bound = 0;
+  /// ceil(|T| * delta / K): every worker contributes at most K assignments
+  /// of Acc* <= 1 (Theorem 2's counting argument).
+  std::int64_t work_bound = 0;
+  /// max(supply_bound, work_bound).
+  std::int64_t combined = 0;
+  /// False when some task's total eligible supply over the whole stream
+  /// falls short of delta (no arrangement can complete it).
+  bool feasible = true;
+  /// The task pinning the supply bound (-1 if none).
+  model::TaskId binding_task = -1;
+};
+
+/// Computes the bounds in O(sum of eligible-pair counts).
+StatusOr<InstanceLowerBound> ComputeLowerBound(
+    const model::ProblemInstance& instance,
+    const model::EligibilityIndex& index);
+
+}  // namespace algo
+}  // namespace ltc
+
+#endif  // LTC_ALGO_LOWER_BOUND_H_

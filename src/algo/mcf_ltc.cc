@@ -1,0 +1,189 @@
+#include "algo/mcf_ltc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/heap.h"
+#include "common/math_util.h"
+#include "flow/graph.h"
+#include "flow/min_cost_flow.h"
+#include "model/quality.h"
+
+namespace ltc {
+namespace algo {
+
+namespace {
+
+/// Acc* values are scaled to parts-per-million before entering the integer
+/// cost domain of the flow solver.
+constexpr std::int64_t kCostScale = 1'000'000;
+
+/// One batch's bookkeeping: which (worker, task) pairs the flow chose.
+struct BatchAssignment {
+  std::size_t worker_pos;  // position within the batch
+  model::TaskId task;
+};
+
+}  // namespace
+
+StatusOr<ScheduleResult> McfLtc::Run(const model::ProblemInstance& instance,
+                                     const model::EligibilityIndex& index) {
+  LTC_RETURN_IF_ERROR(instance.Validate());
+  if (options_.batch_factor <= 0.0 || options_.first_batch_factor <= 0.0) {
+    return Status::InvalidArgument("MCF-LTC: batch factors must be positive");
+  }
+  const double delta = instance.Delta();
+  ScheduleResult result(instance.num_tasks(), delta);
+
+  // Line 1: m = |T| * ceil(delta) / K, the Theorem-2 style lower bound used
+  // as batch size.
+  const double m_real = static_cast<double>(instance.num_tasks()) *
+                        std::ceil(delta) /
+                        static_cast<double>(instance.capacity) *
+                        options_.batch_factor;
+  const auto batch_size = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::floor(m_real)));
+  const auto first_batch_size = std::max<std::int64_t>(
+      1,
+      static_cast<std::int64_t>(std::floor(m_real *
+                                           options_.first_batch_factor)));
+
+  std::vector<model::TaskId> eligible;
+  std::vector<std::vector<model::TaskId>> batch_eligible;
+  std::int64_t pos = 0;  // next unconsumed worker (0-based)
+  bool first = true;
+
+  while (pos < instance.num_workers() && !result.arrangement.AllCompleted()) {
+    const std::int64_t want = first ? first_batch_size : batch_size;
+    first = false;
+    const std::int64_t take = std::min(want, instance.num_workers() - pos);
+    const auto batch_begin = static_cast<std::size_t>(pos);
+    const auto nb = static_cast<std::size_t>(take);
+    pos += take;
+    result.stats.workers_seen = pos;
+
+    // ---- Lines 5-6: build the flow network over (batch, open tasks). ----
+    std::vector<model::TaskId> open_tasks;
+    std::vector<flow::NodeId> task_node(
+        static_cast<std::size_t>(instance.num_tasks()), -1);
+    for (model::TaskId t = 0; t < instance.num_tasks(); ++t) {
+      if (!result.arrangement.TaskCompleted(t)) open_tasks.push_back(t);
+    }
+    const flow::NodeId st = 0;
+    const flow::NodeId ed = 1;
+    flow::FlowNetwork net(static_cast<flow::NodeId>(2 + nb +
+                                                    open_tasks.size()));
+    for (std::size_t i = 0; i < open_tasks.size(); ++i) {
+      task_node[static_cast<std::size_t>(open_tasks[i])] =
+          static_cast<flow::NodeId>(2 + nb + i);
+    }
+
+    // Worker arcs. Arc costs: -Acc* (scaled); optionally plus an arrival-
+    // position epsilon that is strictly smaller than one Acc* quantum, so it
+    // only breaks ties.
+    const std::int64_t tie_scale =
+        options_.index_tie_break ? static_cast<std::int64_t>(nb) + 1 : 1;
+    batch_eligible.assign(nb, {});
+    for (std::size_t p = 0; p < nb; ++p) {
+      const model::Worker& w = instance.workers[batch_begin + p];
+      index.EligibleTasks(w, &eligible);
+      const auto wnode = static_cast<flow::NodeId>(2 + p);
+      bool has_source_arc = false;
+      for (model::TaskId t : eligible) {
+        const flow::NodeId tnode = task_node[static_cast<std::size_t>(t)];
+        if (tnode < 0) continue;  // task already completed
+        if (!has_source_arc) {
+          LTC_RETURN_IF_ERROR(
+              net.AddArc(st, wnode, instance.capacity, 0).status());
+          has_source_arc = true;
+        }
+        const auto scaled = static_cast<std::int64_t>(
+            std::llround(instance.AccStar(w.index, t) * kCostScale));
+        const std::int64_t cost =
+            -scaled * tie_scale +
+            (options_.index_tie_break ? static_cast<std::int64_t>(p) : 0);
+        LTC_RETURN_IF_ERROR(net.AddArc(wnode, tnode, 1, cost).status());
+        batch_eligible[p].push_back(t);
+      }
+    }
+    // Demand arcs: cap = ceil(delta - S[t]).
+    for (model::TaskId t : open_tasks) {
+      const double remaining = result.arrangement.Remaining(t);
+      const auto demand = std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(
+                 std::ceil(remaining - model::kQualityTol)));
+      LTC_RETURN_IF_ERROR(
+          net.AddArc(task_node[static_cast<std::size_t>(t)], ed, demand, 0)
+              .status());
+    }
+
+    flow::McmfOptions mcmf_options;
+    mcmf_options.early_exit = options_.early_exit;
+    LTC_ASSIGN_OR_RETURN(auto mcmf,
+                         flow::SspMinCostMaxFlow(&net, st, ed, mcmf_options));
+    ++result.stats.mcf_batches;
+    result.stats.mcf_augmentations += mcmf.iterations;
+
+    // ---- Line 7: extract M' and update S. ----
+    std::vector<std::int32_t> batch_load(nb, 0);
+    // A worker's outgoing task arcs are exactly those added after its source
+    // arc; walk each worker node's adjacency.
+    std::vector<std::vector<char>> assigned_in_batch(nb);
+    for (std::size_t p = 0; p < nb; ++p) {
+      assigned_in_batch[p].assign(batch_eligible[p].size(), 0);
+      const auto wnode = static_cast<flow::NodeId>(2 + p);
+      const model::Worker& w = instance.workers[batch_begin + p];
+      for (flow::ArcId a = net.First(wnode); a >= 0; a = net.Next(a)) {
+        if ((a & 1) != 0) continue;  // odd ids are residual (reverse) arcs
+        if (net.Flow(a) <= 0) continue;
+        // Map the head node back to its task id.
+        const flow::NodeId head = net.head(a);
+        const auto ti = static_cast<std::size_t>(head) - 2 - nb;
+        const model::TaskId t = open_tasks[ti];
+        result.arrangement.Add(w.index, t, instance.AccStar(w.index, t));
+        result.stats.total_acc_star += instance.AccStar(w.index, t);
+        ++result.stats.assignments;
+        ++batch_load[p];
+        // Record (p, t) to exclude from the top-up.
+        const auto it = std::lower_bound(batch_eligible[p].begin(),
+                                         batch_eligible[p].end(), t);
+        assigned_in_batch[p][static_cast<std::size_t>(
+            it - batch_eligible[p].begin())] = 1;
+      }
+    }
+
+    // ---- Lines 8-15: greedy top-up of spare capacity. ----
+    for (std::size_t p = 0; p < nb; ++p) {
+      const std::int32_t spare = instance.capacity - batch_load[p];
+      if (spare <= 0) continue;
+      if (result.arrangement.AllCompleted()) break;
+      const model::Worker& w = instance.workers[batch_begin + p];
+      BoundedTopK heap(static_cast<std::size_t>(spare));
+      for (std::size_t ei = 0; ei < batch_eligible[p].size(); ++ei) {
+        if (assigned_in_batch[p][ei]) continue;  // w already performs it
+        const model::TaskId t = batch_eligible[p][ei];
+        if (result.arrangement.TaskCompleted(t)) continue;
+        heap.Push(instance.AccStar(w.index, t), t);
+      }
+      for (const auto& item : heap.TakeDescending()) {
+        const auto t = static_cast<model::TaskId>(item.id);
+        result.arrangement.Add(w.index, t, instance.AccStar(w.index, t));
+        result.stats.total_acc_star += instance.AccStar(w.index, t);
+        ++result.stats.assignments;
+      }
+    }
+    // Line 17: loop exits once every task reached delta.
+  }
+
+  result.completed = result.arrangement.AllCompleted();
+  result.latency = result.arrangement.MaxWorkerIndex();
+  for (model::WorkerIndex w = 1;
+       w <= result.arrangement.MaxWorkerIndex(); ++w) {
+    if (result.arrangement.Load(w) > 0) ++result.stats.workers_used;
+  }
+  return result;
+}
+
+}  // namespace algo
+}  // namespace ltc

@@ -1,0 +1,50 @@
+#include "algo/online_base.h"
+
+namespace ltc {
+namespace algo {
+
+Status OnlineSchedulerBase::Init(const model::ProblemInstance& instance,
+                                 const model::EligibilityIndex& index) {
+  LTC_RETURN_IF_ERROR(instance.Validate());
+  if (&index.instance() != &instance) {
+    return Status::InvalidArgument(
+        "eligibility index was built for a different instance");
+  }
+  instance_ = &instance;
+  index_ = &index;
+  delta_ = instance.Delta();
+  arrangement_.emplace(instance.num_tasks(), delta_);
+  return OnInit();
+}
+
+Status OnlineSchedulerBase::OnArrival(const model::Worker& worker,
+                                      std::vector<model::TaskId>* assigned) {
+  assigned->clear();
+  if (instance_ == nullptr) {
+    return Status::FailedPrecondition("OnArrival before Init");
+  }
+  if (arrangement_->AllCompleted()) return Status::OK();
+
+  index_->EligibleTasks(worker, &eligible_scratch_);
+  candidates_scratch_.clear();
+  const bool filter = FilterCompleted();
+  for (model::TaskId t : eligible_scratch_) {
+    if (!filter || !arrangement_->TaskCompleted(t)) {
+      candidates_scratch_.push_back(t);
+    }
+  }
+  if (candidates_scratch_.empty()) return Status::OK();
+
+  SelectTasks(worker, candidates_scratch_, assigned);
+  if (static_cast<std::int64_t>(assigned->size()) > capacity()) {
+    return Status::Internal(Name() + " selected more tasks than capacity K");
+  }
+  for (model::TaskId t : *assigned) {
+    arrangement_->Add(worker.index, t, instance_->AccStar(worker.index, t));
+    OnAssigned(worker, t);
+  }
+  return Status::OK();
+}
+
+}  // namespace algo
+}  // namespace ltc

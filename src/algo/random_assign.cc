@@ -1,0 +1,28 @@
+#include "algo/random_assign.h"
+
+#include <algorithm>
+
+namespace ltc {
+namespace algo {
+
+void RandomAssign::SelectTasks(const model::Worker& worker,
+                               const std::vector<model::TaskId>& candidates,
+                               std::vector<model::TaskId>* out) {
+  (void)worker;
+  const auto k = static_cast<std::size_t>(capacity());
+  if (candidates.size() <= k) {
+    out->insert(out->end(), candidates.begin(), candidates.end());
+    return;
+  }
+  // Partial Fisher-Yates: draw K distinct tasks uniformly.
+  pool_ = candidates;
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(rng_.UniformInt(
+        static_cast<std::int64_t>(i), static_cast<std::int64_t>(pool_.size()) - 1));
+    std::swap(pool_[i], pool_[j]);
+    out->push_back(pool_[i]);
+  }
+}
+
+}  // namespace algo
+}  // namespace ltc

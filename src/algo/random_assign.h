@@ -1,0 +1,51 @@
+// Random: the paper's naive online baseline — "tasks nearby are assigned
+// randomly to the worker when s/he arrives on the platform" (Sec. V-A).
+
+#ifndef LTC_ALGO_RANDOM_ASSIGN_H_
+#define LTC_ALGO_RANDOM_ASSIGN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algo/online_base.h"
+#include "common/random.h"
+
+namespace ltc {
+namespace algo {
+
+/// \brief Picks up to K eligible nearby tasks uniformly at random (without
+/// replacement). Deterministic for a fixed seed.
+///
+/// Faithful to the paper's description ("a naive online baseline algorithm
+/// where tasks nearby are assigned randomly"), Random never inspects the
+/// quality state: unlike LAF/AAM it keeps spending capacity on tasks that
+/// already reached delta, which is exactly why it trails them in Fig. 3/4.
+class RandomAssign : public OnlineSchedulerBase {
+ public:
+  explicit RandomAssign(std::uint64_t seed = 42) : seed_(seed), rng_(seed) {}
+
+  std::string Name() const override { return "Random"; }
+
+ protected:
+  Status OnInit() override {
+    rng_ = Rng(seed_);
+    return Status::OK();
+  }
+
+  bool FilterCompleted() const override { return false; }
+
+  void SelectTasks(const model::Worker& worker,
+                   const std::vector<model::TaskId>& candidates,
+                   std::vector<model::TaskId>* out) override;
+
+ private:
+  std::uint64_t seed_;
+  Rng rng_;
+  std::vector<model::TaskId> pool_;
+};
+
+}  // namespace algo
+}  // namespace ltc
+
+#endif  // LTC_ALGO_RANDOM_ASSIGN_H_

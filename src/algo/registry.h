@@ -1,0 +1,38 @@
+// Name-based factory over the five paper algorithms (MCF-LTC, Base-off, LAF,
+// AAM, Random), used by the bench harness, the CLI example, and tests that
+// sweep "all algorithms".
+
+#ifndef LTC_ALGO_REGISTRY_H_
+#define LTC_ALGO_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/scheduler.h"
+
+namespace ltc {
+namespace algo {
+
+/// Whether a named algorithm is an online (per-arrival) scheduler.
+StatusOr<bool> IsOnlineAlgorithm(const std::string& name);
+
+/// The paper's evaluation roster, in the order the figures list them:
+/// Base-off, MCF-LTC (offline); Random, LAF, AAM (online).
+std::vector<std::string> StandardAlgorithms();
+
+/// Creates an offline scheduler by name ("MCF-LTC", "Base-off",
+/// "Exhaustive"). Unknown names -> NotFound.
+StatusOr<std::unique_ptr<OfflineScheduler>> MakeOfflineScheduler(
+    const std::string& name);
+
+/// Creates an online scheduler by name ("LAF", "AAM", "Random"); the seed
+/// only matters for "Random". Unknown names -> NotFound.
+StatusOr<std::unique_ptr<OnlineScheduler>> MakeOnlineScheduler(
+    const std::string& name, std::uint64_t seed);
+
+}  // namespace algo
+}  // namespace ltc
+
+#endif  // LTC_ALGO_REGISTRY_H_

@@ -1,0 +1,101 @@
+// Scheduler interfaces for the LTC problem.
+//
+// Offline schedulers (paper Sec. III) see the whole instance. Online
+// schedulers (paper Sec. IV) are driven arrival-by-arrival by the simulation
+// engine (src/sim/engine.h) and must commit assignments immediately — the
+// temporal constraint of Definition 7. Both produce a ScheduleResult whose
+// arrangement is validated by the same model::ValidateArrangement code.
+
+#ifndef LTC_ALGO_SCHEDULER_H_
+#define LTC_ALGO_SCHEDULER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "model/arrangement.h"
+#include "model/eligibility.h"
+#include "model/problem.h"
+
+namespace ltc {
+namespace algo {
+
+/// Solver diagnostics accumulated during a run.
+struct ScheduleStats {
+  /// Arrivals examined before stopping.
+  std::int64_t workers_seen = 0;
+  /// Distinct workers that received at least one task.
+  std::int64_t workers_used = 0;
+  /// Total (worker, task) assignments made.
+  std::int64_t assignments = 0;
+  /// Sum of Acc* over all assignments (the ∆ of the paper's analysis).
+  double total_acc_star = 0.0;
+  /// MCF-LTC only: batches solved and flow augmentations performed.
+  std::int64_t mcf_batches = 0;
+  std::int64_t mcf_augmentations = 0;
+};
+
+/// Outcome of a scheduling run.
+struct ScheduleResult {
+  ScheduleResult(std::int64_t num_tasks, double delta)
+      : arrangement(num_tasks, delta) {}
+
+  model::Arrangement arrangement;
+  /// True iff every task reached delta before the stream ran out.
+  bool completed = false;
+  /// The objective MinMax(M): max arrival index used. Only meaningful when
+  /// completed (otherwise it is the max index used before exhaustion).
+  model::WorkerIndex latency = 0;
+  ScheduleStats stats;
+};
+
+/// \brief An algorithm that sees the full instance up front (MCF-LTC,
+/// Base-off, the exhaustive optimum).
+class OfflineScheduler {
+ public:
+  virtual ~OfflineScheduler() = default;
+
+  /// Display name ("MCF-LTC", "Base-off", ...).
+  virtual std::string Name() const = 0;
+
+  /// Solves the instance. `index` must have been built on `instance`.
+  virtual StatusOr<ScheduleResult> Run(
+      const model::ProblemInstance& instance,
+      const model::EligibilityIndex& index) = 0;
+};
+
+/// \brief An algorithm that decides per arrival (LAF, AAM, Random).
+///
+/// Protocol: Init once, then OnArrival for workers in stream order. The
+/// engine stops calling once Done() — all tasks completed — or the stream is
+/// exhausted. Implementations must base decisions only on the tasks, the
+/// instance parameters, and arrivals seen so far.
+class OnlineScheduler {
+ public:
+  virtual ~OnlineScheduler() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// Resets all state for a fresh run over `instance`.
+  virtual Status Init(const model::ProblemInstance& instance,
+                      const model::EligibilityIndex& index) = 0;
+
+  /// Decides the (at most K) tasks for the arriving worker; appends them to
+  /// *assigned (cleared first) and records them in the arrangement. The
+  /// commitment is irrevocable.
+  virtual Status OnArrival(const model::Worker& worker,
+                           std::vector<model::TaskId>* assigned) = 0;
+
+  /// True once every task reached delta.
+  virtual bool Done() const = 0;
+
+  /// The arrangement built so far.
+  virtual const model::Arrangement& arrangement() const = 0;
+};
+
+}  // namespace algo
+}  // namespace ltc
+
+#endif  // LTC_ALGO_SCHEDULER_H_

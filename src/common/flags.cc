@@ -1,0 +1,171 @@
+#include "common/flags.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace ltc {
+
+namespace internal {
+
+FlagBase::FlagBase(std::string name, std::string help)
+    : name_(std::move(name)), help_(std::move(help)) {
+  FlagRegistry()[name_] = this;
+}
+
+std::map<std::string, FlagBase*>& FlagRegistry() {
+  static auto* registry = new std::map<std::string, FlagBase*>();
+  return *registry;
+}
+
+}  // namespace internal
+
+template <>
+Status Flag<std::string>::Parse(const std::string& text) {
+  value_ = text;
+  return Status::OK();
+}
+
+template <>
+Status Flag<std::int64_t>::Parse(const std::string& text) {
+  std::int64_t v;
+  if (!ParseInt64(text, &v)) {
+    return Status::InvalidArgument("flag --" + name() +
+                                   " expects an integer, got '" + text + "'");
+  }
+  value_ = v;
+  return Status::OK();
+}
+
+template <>
+Status Flag<double>::Parse(const std::string& text) {
+  double v;
+  if (!ParseDouble(text, &v)) {
+    return Status::InvalidArgument("flag --" + name() +
+                                   " expects a number, got '" + text + "'");
+  }
+  value_ = v;
+  return Status::OK();
+}
+
+template <>
+Status Flag<bool>::Parse(const std::string& text) {
+  if (text == "true" || text == "1" || text.empty()) {
+    value_ = true;
+  } else if (text == "false" || text == "0") {
+    value_ = false;
+  } else {
+    return Status::InvalidArgument("flag --" + name() +
+                                   " expects true/false, got '" + text + "'");
+  }
+  return Status::OK();
+}
+
+template <>
+bool Flag<bool>::IsBool() const {
+  return true;
+}
+template <>
+bool Flag<std::string>::IsBool() const {
+  return false;
+}
+template <>
+bool Flag<std::int64_t>::IsBool() const {
+  return false;
+}
+template <>
+bool Flag<double>::IsBool() const {
+  return false;
+}
+
+template <>
+std::string Flag<std::string>::ValueString() const {
+  return value_;
+}
+template <>
+std::string Flag<std::int64_t>::ValueString() const {
+  return StrFormat("%lld", static_cast<long long>(value_));
+}
+template <>
+std::string Flag<double>::ValueString() const {
+  return StrFormat("%g", value_);
+}
+template <>
+std::string Flag<bool>::ValueString() const {
+  return value_ ? "true" : "false";
+}
+
+template class Flag<std::string>;
+template class Flag<std::int64_t>;
+template class Flag<double>;
+template class Flag<bool>;
+
+std::string FlagUsage() {
+  std::string out = "Flags:\n";
+  for (const auto& [name, flag] : internal::FlagRegistry()) {
+    out += StrFormat("  --%-24s %s (default: %s)\n", name.c_str(),
+                     flag->help().c_str(), flag->ValueString().c_str());
+  }
+  return out;
+}
+
+Status ParseCommandLine(int argc, char** argv,
+                        std::vector<std::string>* positional) {
+  auto& registry = internal::FlagRegistry();
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      if (positional == nullptr) {
+        return Status::InvalidArgument("unexpected positional argument '" +
+                                       arg + "'");
+      }
+      positional->push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    if (arg == "help") {
+      std::fputs(FlagUsage().c_str(), stderr);
+      return Status::FailedPrecondition("--help requested");
+    }
+    std::string name = arg;
+    std::string value;
+    bool has_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    bool negated = false;
+    if (registry.find(name) == registry.end() && StartsWith(name, "no-")) {
+      negated = true;
+      name = name.substr(3);
+    }
+    auto it = registry.find(name);
+    if (it == registry.end()) {
+      return Status::InvalidArgument("unknown flag --" + name + "\n" +
+                                     FlagUsage());
+    }
+    internal::FlagBase* flag = it->second;
+    if (negated) {
+      if (!flag->IsBool() || has_value) {
+        return Status::InvalidArgument("--no- form only valid for bool flags");
+      }
+      LTC_RETURN_IF_ERROR(flag->Parse("false"));
+      continue;
+    }
+    if (!has_value) {
+      if (flag->IsBool()) {
+        LTC_RETURN_IF_ERROR(flag->Parse("true"));
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag --" + name + " expects a value");
+      }
+      value = argv[++i];
+    }
+    LTC_RETURN_IF_ERROR(flag->Parse(value));
+  }
+  return Status::OK();
+}
+
+}  // namespace ltc

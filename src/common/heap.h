@@ -1,0 +1,232 @@
+// Heap data structures used by the LTC algorithms:
+//
+//  * BoundedTopK     — the size-limited max-selection heap of Algorithms 1-3
+//                      ("maintain size of Q under capacity of w").
+//  * IndexedMinHeap  — addressable binary heap with DecreaseKey, used by the
+//                      Dijkstra inside the min-cost-flow solver.
+//  * LazyMaxTracker  — max-of-mutating-array with lazy invalidation, used by
+//                      AAM to maintain maxRemain in O(log n) amortised.
+
+#ifndef LTC_COMMON_HEAP_H_
+#define LTC_COMMON_HEAP_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace ltc {
+
+/// \brief Keeps the k largest (score, id) items seen, with deterministic
+/// tie-breaking: equal scores prefer the *smaller* id (matching the paper's
+/// Example 3 trace, where ties go to the lower task index).
+class BoundedTopK {
+ public:
+  struct Item {
+    double score;
+    std::int64_t id;
+  };
+
+  explicit BoundedTopK(std::size_t k) : k_(k) {}
+
+  /// Offers an item; keeps only the top k.
+  void Push(double score, std::int64_t id) {
+    if (k_ == 0) return;
+    if (heap_.size() < k_) {
+      heap_.push_back({score, id});
+      SiftUp(heap_.size() - 1);
+      return;
+    }
+    // Replace the current minimum if the new item beats it.
+    if (Less(heap_[0], {score, id})) {
+      heap_[0] = {score, id};
+      SiftDown(0);
+    }
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Removes and returns the *smallest* retained item.
+  Item PopMin() {
+    assert(!heap_.empty());
+    Item out = heap_[0];
+    heap_[0] = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) SiftDown(0);
+    return out;
+  }
+
+  /// Extracts all retained items ordered by descending score (ties: ascending
+  /// id). Leaves the heap empty.
+  std::vector<Item> TakeDescending() {
+    std::vector<Item> out;
+    out.reserve(heap_.size());
+    while (!heap_.empty()) out.push_back(PopMin());
+    std::reverse(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  // Min-heap order over retention priority: a < b means a is evicted first.
+  // Larger score wins retention; equal scores: larger id is evicted first.
+  static bool Less(const Item& a, const Item& b) {
+    if (a.score != b.score) return a.score < b.score;
+    return a.id > b.id;
+  }
+
+  void SiftUp(std::size_t i) {
+    while (i > 0) {
+      std::size_t parent = (i - 1) / 2;
+      if (!Less(heap_[i], heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void SiftDown(std::size_t i) {
+    while (true) {
+      std::size_t l = 2 * i + 1;
+      std::size_t r = l + 1;
+      std::size_t smallest = i;
+      if (l < heap_.size() && Less(heap_[l], heap_[smallest])) smallest = l;
+      if (r < heap_.size() && Less(heap_[r], heap_[smallest])) smallest = r;
+      if (smallest == i) break;
+      std::swap(heap_[i], heap_[smallest]);
+      i = smallest;
+    }
+  }
+
+  std::size_t k_;
+  std::vector<Item> heap_;
+};
+
+/// \brief Addressable binary min-heap over node ids 0..n-1 keyed by cost.
+///
+/// Supports PushOrDecrease (insert or lower an existing key) and PopMin, the
+/// two operations Dijkstra needs. O(log n) each, O(n) memory.
+template <typename Key>
+class IndexedMinHeap {
+ public:
+  explicit IndexedMinHeap(std::size_t n) : pos_(n, kAbsent) {}
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  bool Contains(std::int64_t id) const {
+    return pos_[static_cast<std::size_t>(id)] != kAbsent;
+  }
+
+  /// Inserts id with the given key, or lowers its key if already present with
+  /// a larger key. Returns false if present with a smaller-or-equal key.
+  bool PushOrDecrease(std::int64_t id, Key key) {
+    auto& p = pos_[static_cast<std::size_t>(id)];
+    if (p == kAbsent) {
+      p = heap_.size();
+      heap_.push_back({key, id});
+      SiftUp(heap_.size() - 1);
+      return true;
+    }
+    if (key < heap_[p].first) {
+      heap_[p].first = key;
+      SiftUp(p);
+      return true;
+    }
+    return false;
+  }
+
+  /// Removes and returns the minimum (key, id).
+  std::pair<Key, std::int64_t> PopMin() {
+    assert(!heap_.empty());
+    auto out = heap_[0];
+    Swap(0, heap_.size() - 1);
+    heap_.pop_back();
+    pos_[static_cast<std::size_t>(out.second)] = kAbsent;
+    if (!heap_.empty()) SiftDown(0);
+    return out;
+  }
+
+  /// Removes all elements but keeps capacity (cheap reuse across Dijkstras).
+  void Clear() {
+    for (const auto& [key, id] : heap_) {
+      pos_[static_cast<std::size_t>(id)] = kAbsent;
+    }
+    heap_.clear();
+  }
+
+ private:
+  static constexpr std::size_t kAbsent = static_cast<std::size_t>(-1);
+
+  void Swap(std::size_t a, std::size_t b) {
+    std::swap(heap_[a], heap_[b]);
+    pos_[static_cast<std::size_t>(heap_[a].second)] = a;
+    pos_[static_cast<std::size_t>(heap_[b].second)] = b;
+  }
+
+  void SiftUp(std::size_t i) {
+    while (i > 0) {
+      std::size_t parent = (i - 1) / 2;
+      if (heap_[parent].first <= heap_[i].first) break;
+      Swap(i, parent);
+      i = parent;
+    }
+  }
+
+  void SiftDown(std::size_t i) {
+    while (true) {
+      std::size_t l = 2 * i + 1;
+      std::size_t r = l + 1;
+      std::size_t smallest = i;
+      if (l < heap_.size() && heap_[l].first < heap_[smallest].first)
+        smallest = l;
+      if (r < heap_.size() && heap_[r].first < heap_[smallest].first)
+        smallest = r;
+      if (smallest == i) break;
+      Swap(i, smallest);
+      i = smallest;
+    }
+  }
+
+  std::vector<std::pair<Key, std::int64_t>> heap_;
+  std::vector<std::size_t> pos_;
+};
+
+/// \brief Tracks max_i value[i] for an array whose entries only *decrease*
+/// over time (remaining demand δ - S[t] in AAM). Entries are re-pushed on
+/// change; stale heap tops are discarded lazily against the live array.
+class LazyMaxTracker {
+ public:
+  explicit LazyMaxTracker(const std::vector<double>* values)
+      : values_(values) {
+    for (std::size_t i = 0; i < values->size(); ++i) {
+      heap_.push({(*values)[i], static_cast<std::int64_t>(i)});
+    }
+  }
+
+  /// Notifies that values_[i] changed (decreased).
+  void Update(std::int64_t i) {
+    heap_.push({(*values_)[static_cast<std::size_t>(i)], i});
+  }
+
+  /// Current maximum over live values (0 if array empty).
+  double Max() {
+    while (!heap_.empty()) {
+      const auto& [cached, id] = heap_.top();
+      const double live = (*values_)[static_cast<std::size_t>(id)];
+      if (cached == live) return live;
+      heap_.pop();  // stale entry
+    }
+    return 0.0;
+  }
+
+ private:
+  const std::vector<double>* values_;
+  std::priority_queue<std::pair<double, std::int64_t>> heap_;
+};
+
+}  // namespace ltc
+
+#endif  // LTC_COMMON_HEAP_H_

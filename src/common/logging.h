@@ -1,0 +1,73 @@
+// Minimal leveled logging to stderr. The library logs sparingly (benches and
+// the experiment runner use it for progress); tests can silence it globally.
+
+#ifndef LTC_COMMON_LOGGING_H_
+#define LTC_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace ltc {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it on destruction (if not filtered).
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Logs a fatal message and aborts on destruction.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Streaming log: LTC_LOG(Info) << "x=" << x;
+#define LTC_LOG(level) \
+  ::ltc::internal::LogMessage(::ltc::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Unconditional invariant check (active in all build types); aborts with a
+/// message on failure. Usage: LTC_CHECK(n > 0) << "n was " << n;
+#define LTC_CHECK(cond)        \
+  if (cond) {                  \
+  } else                       \
+    ::ltc::internal::FatalLogMessage(__FILE__, __LINE__) \
+        << "Check failed: " #cond ". "
+
+}  // namespace ltc
+
+#endif  // LTC_COMMON_LOGGING_H_

@@ -1,0 +1,40 @@
+// Byte-exact heap accounting for the memory rows of Fig. 3i-l / Fig. 4i-l.
+//
+// The counters in this header are always available (they just read atomics).
+// They only move when the translation unit `memhook_impl.cc` — which overrides
+// global operator new/delete — is linked into the binary. Bench executables
+// link it; the core library and most tests do not, so library users pay
+// nothing.
+
+#ifndef LTC_COMMON_MEMHOOK_H_
+#define LTC_COMMON_MEMHOOK_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ltc {
+namespace memhook {
+
+/// Bytes currently allocated through global operator new.
+std::uint64_t CurrentBytes();
+
+/// High-water mark of CurrentBytes() since the last ResetPeak().
+std::uint64_t PeakBytes();
+
+/// Resets the peak to the current level (call before a measured run).
+void ResetPeak();
+
+/// True when the overriding allocator is linked into this binary.
+bool Active();
+
+namespace internal {
+/// Called by the operator new/delete overrides in memhook_impl.cc.
+void RecordAlloc(std::size_t size);
+void RecordFree(std::size_t size);
+void MarkActive();
+}  // namespace internal
+
+}  // namespace memhook
+}  // namespace ltc
+
+#endif  // LTC_COMMON_MEMHOOK_H_

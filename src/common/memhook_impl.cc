@@ -1,0 +1,69 @@
+// Global operator new/delete overrides that feed the memhook counters.
+//
+// Linked only into binaries that need byte-exact memory measurement (bench
+// executables and memhook_test). Each allocation is padded with a 16-byte
+// header that stores the requested size so frees can be accounted without
+// malloc_usable_size (which is glibc-specific).
+
+#include <cstdlib>
+#include <new>
+
+#include "common/memhook.h"
+
+namespace {
+
+constexpr std::size_t kHeader = alignof(std::max_align_t);
+static_assert(kHeader >= sizeof(std::size_t), "header must hold a size_t");
+
+struct ActivationMarker {
+  ActivationMarker() { ltc::memhook::internal::MarkActive(); }
+};
+ActivationMarker g_marker;
+
+void* TrackedAlloc(std::size_t size) {
+  void* raw = std::malloc(size + kHeader);
+  if (raw == nullptr) return nullptr;
+  *static_cast<std::size_t*>(raw) = size;
+  ltc::memhook::internal::RecordAlloc(size);
+  return static_cast<char*>(raw) + kHeader;
+}
+
+void TrackedFree(void* ptr) noexcept {
+  if (ptr == nullptr) return;
+  void* raw = static_cast<char*>(ptr) - kHeader;
+  ltc::memhook::internal::RecordFree(*static_cast<std::size_t*>(raw));
+  std::free(raw);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = TrackedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = TrackedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return TrackedAlloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return TrackedAlloc(size);
+}
+
+void operator delete(void* ptr) noexcept { TrackedFree(ptr); }
+void operator delete[](void* ptr) noexcept { TrackedFree(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { TrackedFree(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { TrackedFree(ptr); }
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  TrackedFree(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  TrackedFree(ptr);
+}

@@ -1,0 +1,19 @@
+// Process-level memory statistics (Linux /proc). Used as a fallback memory
+// metric when the byte-exact memhook is not linked in.
+
+#ifndef LTC_COMMON_PROC_H_
+#define LTC_COMMON_PROC_H_
+
+#include <cstdint>
+
+namespace ltc {
+
+/// Peak resident set size (VmHWM) in bytes; 0 if unavailable.
+std::uint64_t PeakRssBytes();
+
+/// Current resident set size (VmRSS) in bytes; 0 if unavailable.
+std::uint64_t CurrentRssBytes();
+
+}  // namespace ltc
+
+#endif  // LTC_COMMON_PROC_H_

@@ -1,0 +1,50 @@
+// Console table printer + CSV writer used by the bench harness to emit the
+// rows/series of each paper figure.
+
+#ifndef LTC_COMMON_TABLE_H_
+#define LTC_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ltc {
+
+/// \brief Accumulates rows and renders an aligned ASCII table.
+///
+/// \code
+///   TablePrinter tp({"algo", "|T|", "latency"});
+///   tp.AddRow({"AAM", "1000", "8123.4"});
+///   std::cout << tp.Render();
+/// \endcode
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; pads/truncates to the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience for numeric cells.
+  static std::string Cell(double v, int precision = 2);
+  static std::string Cell(std::int64_t v);
+
+  /// Renders with column alignment and a separator under the header.
+  std::string Render() const;
+
+  /// Renders as CSV (header + rows).
+  std::string RenderCsv() const;
+
+  /// Writes RenderCsv() to `path`, creating parent directory if needed.
+  Status WriteCsv(const std::string& path) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ltc
+
+#endif  // LTC_COMMON_TABLE_H_

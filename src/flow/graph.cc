@@ -1,0 +1,54 @@
+#include "flow/graph.h"
+
+#include "common/string_util.h"
+
+namespace ltc {
+namespace flow {
+
+FlowNetwork::FlowNetwork(NodeId num_nodes)
+    : first_arc_(static_cast<std::size_t>(num_nodes), -1) {}
+
+NodeId FlowNetwork::AddNode() {
+  first_arc_.push_back(-1);
+  return static_cast<NodeId>(first_arc_.size() - 1);
+}
+
+StatusOr<ArcId> FlowNetwork::AddArc(NodeId from, NodeId to,
+                                    std::int64_t capacity, std::int64_t cost) {
+  if (from < 0 || from >= num_nodes() || to < 0 || to >= num_nodes()) {
+    return Status::InvalidArgument(
+        StrFormat("AddArc(%d, %d): node out of range [0, %d)", from, to,
+                  num_nodes()));
+  }
+  if (capacity < 0) {
+    return Status::InvalidArgument("AddArc: negative capacity");
+  }
+  auto add_half = [&](NodeId u, NodeId v, std::int64_t cap, std::int64_t c) {
+    to_.push_back(v);
+    residual_.push_back(cap);
+    cost_.push_back(c);
+    original_cap_.push_back(cap);
+    next_arc_.push_back(first_arc_[static_cast<std::size_t>(u)]);
+    first_arc_[static_cast<std::size_t>(u)] =
+        static_cast<ArcId>(to_.size() - 1);
+  };
+  add_half(from, to, capacity, cost);
+  add_half(to, from, 0, -cost);
+  return static_cast<ArcId>(to_.size() - 2);
+}
+
+std::int64_t FlowNetwork::Flow(ArcId forward_arc) const {
+  const auto i = static_cast<std::size_t>(forward_arc);
+  return original_cap_[i] - residual_[i];
+}
+
+void FlowNetwork::Push(ArcId a, std::int64_t amount) {
+  const auto i = static_cast<std::size_t>(a);
+  residual_[i] -= amount;
+  residual_[static_cast<std::size_t>(a ^ 1)] += amount;
+}
+
+void FlowNetwork::ResetFlow() { residual_ = original_cap_; }
+
+}  // namespace flow
+}  // namespace ltc

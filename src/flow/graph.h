@@ -1,0 +1,74 @@
+// Residual flow network representation shared by all flow solvers.
+//
+// Arcs are stored in forward/backward pairs (arc i's reverse is i^1), the
+// classic residual-graph layout. Capacities and costs are int64: the MCF-LTC
+// algorithm scales its real-valued Acc* costs to integers before building the
+// network (see algo/mcf_ltc.cc) so that shortest-path computations are exact.
+
+#ifndef LTC_FLOW_GRAPH_H_
+#define LTC_FLOW_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ltc {
+namespace flow {
+
+using NodeId = std::int32_t;
+using ArcId = std::int32_t;
+
+/// \brief Mutable residual network: nodes, paired arcs, per-arc residual
+/// capacity and cost.
+class FlowNetwork {
+ public:
+  /// Creates a network with `num_nodes` nodes (ids 0..num_nodes-1).
+  explicit FlowNetwork(NodeId num_nodes);
+
+  /// Adds a node, returning its id.
+  NodeId AddNode();
+
+  /// Adds a directed arc from->to with the given capacity (>= 0) and cost.
+  /// Also adds the residual reverse arc (capacity 0, cost -cost).
+  /// Returns the forward arc id; the reverse is id ^ 1.
+  StatusOr<ArcId> AddArc(NodeId from, NodeId to, std::int64_t capacity,
+                         std::int64_t cost);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(first_arc_.size()); }
+  ArcId num_arcs() const { return static_cast<ArcId>(to_.size()); }
+
+  NodeId head(ArcId a) const { return to_[static_cast<std::size_t>(a)]; }
+  std::int64_t residual(ArcId a) const {
+    return residual_[static_cast<std::size_t>(a)];
+  }
+  std::int64_t cost(ArcId a) const { return cost_[static_cast<std::size_t>(a)]; }
+
+  /// Flow currently on a *forward* arc (capacity consumed so far).
+  std::int64_t Flow(ArcId forward_arc) const;
+
+  /// Pushes `amount` units along arc a (reduces residual, grows reverse).
+  void Push(ArcId a, std::int64_t amount);
+
+  /// Resets all arcs to their original capacities (removes all flow).
+  void ResetFlow();
+
+  /// Iteration over arcs leaving a node: for (ArcId a = First(v); a >= 0;
+  /// a = Next(a)).
+  ArcId First(NodeId v) const { return first_arc_[static_cast<std::size_t>(v)]; }
+  ArcId Next(ArcId a) const { return next_arc_[static_cast<std::size_t>(a)]; }
+
+ private:
+  // Linked-list adjacency (stable under arc insertion).
+  std::vector<ArcId> first_arc_;   // per node
+  std::vector<ArcId> next_arc_;    // per arc
+  std::vector<NodeId> to_;         // per arc
+  std::vector<std::int64_t> residual_;  // per arc
+  std::vector<std::int64_t> cost_;      // per arc
+  std::vector<std::int64_t> original_cap_;  // per arc
+};
+
+}  // namespace flow
+}  // namespace ltc
+
+#endif  // LTC_FLOW_GRAPH_H_

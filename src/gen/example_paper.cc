@@ -1,0 +1,49 @@
+#include "gen/example_paper.h"
+
+#include <vector>
+
+#include "model/accuracy.h"
+
+namespace ltc {
+namespace gen {
+
+StatusOr<model::ProblemInstance> PaperExampleInstance(double epsilon) {
+  std::vector<std::vector<double>> matrix;
+  matrix.reserve(8);
+  for (const auto& row : kPaperExampleAccuracy) {
+    matrix.emplace_back(row, row + 3);
+  }
+  LTC_ASSIGN_OR_RETURN(auto accuracy,
+                       model::MatrixAccuracy::Create(std::move(matrix)));
+
+  model::ProblemInstance instance;
+  instance.epsilon = epsilon;
+  instance.capacity = 2;  // "willing to answer at most two questions"
+  instance.acc_min = model::kDefaultAccMin;
+  instance.accuracy = std::move(accuracy);
+
+  // Locations are illustrative (Fig. 1 gives no coordinates); the matrix
+  // accuracy function ignores them.
+  const geo::Point task_locations[3] = {{10, 10}, {20, 15}, {30, 5}};
+  for (model::TaskId t = 0; t < 3; ++t) {
+    instance.tasks.push_back(
+        model::Task{t, task_locations[static_cast<std::size_t>(t)]});
+  }
+  for (model::WorkerIndex i = 1; i <= 8; ++i) {
+    model::Worker w;
+    w.index = i;
+    w.location = {10.0 + static_cast<double>(i), 8.0};
+    // Historical accuracy: the worker's best entry in Table I (not consumed
+    // by MatrixAccuracy, but kept plausible for display).
+    double best = 0.0;
+    for (double acc : kPaperExampleAccuracy[i - 1]) best = std::max(best, acc);
+    w.historical_accuracy = best;
+    instance.workers.push_back(w);
+  }
+
+  LTC_RETURN_IF_ERROR(instance.Validate().WithContext("PaperExampleInstance"));
+  return instance;
+}
+
+}  // namespace gen
+}  // namespace ltc

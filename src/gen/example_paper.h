@@ -1,0 +1,35 @@
+// The paper's running example (Sec. I, Example 1): three tasks at Hong Kong
+// POIs, eight workers arriving w1..w8, the Table I accuracy matrix, capacity
+// K = 2. Used by examples/facebook_editor and the algorithm trace tests
+// (paper Examples 2-4).
+
+#ifndef LTC_GEN_EXAMPLE_PAPER_H_
+#define LTC_GEN_EXAMPLE_PAPER_H_
+
+#include "common/status.h"
+#include "model/problem.h"
+
+namespace ltc {
+namespace gen {
+
+/// Table I of the paper: predicted accuracy of worker w (row) on task t
+/// (column); rows are w1..w8, columns t1..t3.
+inline constexpr double kPaperExampleAccuracy[8][3] = {
+    {0.96, 0.98, 0.96},  // w1
+    {0.98, 0.96, 0.96},  // w2
+    {0.98, 0.96, 0.96},  // w3
+    {0.98, 0.98, 0.98},  // w4
+    {0.96, 0.94, 0.94},  // w5
+    {0.96, 0.96, 0.94},  // w6
+    {0.94, 0.96, 0.96},  // w7
+    {0.94, 0.94, 0.96},  // w8
+};
+
+/// Builds the Example-1 instance. epsilon defaults to 0.2 as in the paper's
+/// Example 2 (delta = 2 ln 5 ≈ 3.219).
+StatusOr<model::ProblemInstance> PaperExampleInstance(double epsilon = 0.2);
+
+}  // namespace gen
+}  // namespace ltc
+
+#endif  // LTC_GEN_EXAMPLE_PAPER_H_

@@ -1,0 +1,61 @@
+#include "gen/synthetic.h"
+
+#include <memory>
+
+#include "common/math_util.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace ltc {
+namespace gen {
+
+StatusOr<model::ProblemInstance> GenerateSynthetic(const SyntheticConfig& cfg) {
+  if (cfg.num_tasks <= 0 || cfg.num_workers <= 0) {
+    return Status::InvalidArgument("synthetic: need positive |T| and |W|");
+  }
+  if (cfg.grid_side <= 0.0 || cfg.dmax <= 0.0) {
+    return Status::InvalidArgument("synthetic: grid_side and dmax must be > 0");
+  }
+  if (cfg.accuracy_floor > cfg.accuracy_ceil) {
+    return Status::InvalidArgument("synthetic: accuracy floor above ceiling");
+  }
+
+  Rng rng(cfg.seed);
+  model::ProblemInstance instance;
+  instance.epsilon = cfg.epsilon;
+  instance.capacity = cfg.capacity;
+  instance.acc_min = cfg.acc_min;
+  instance.accuracy = std::make_shared<model::SigmoidDistanceAccuracy>(cfg.dmax);
+
+  instance.tasks.reserve(static_cast<std::size_t>(cfg.num_tasks));
+  for (std::int64_t i = 0; i < cfg.num_tasks; ++i) {
+    model::Task t;
+    t.id = static_cast<model::TaskId>(i);
+    t.location = {rng.Uniform(0.0, cfg.grid_side),
+                  rng.Uniform(0.0, cfg.grid_side)};
+    instance.tasks.push_back(t);
+  }
+
+  instance.workers.reserve(static_cast<std::size_t>(cfg.num_workers));
+  for (std::int64_t i = 0; i < cfg.num_workers; ++i) {
+    model::Worker w;
+    w.index = static_cast<model::WorkerIndex>(i + 1);
+    w.location = {rng.Uniform(0.0, cfg.grid_side),
+                  rng.Uniform(0.0, cfg.grid_side)};
+    double acc;
+    if (cfg.distribution == AccuracyDistribution::kNormal) {
+      acc = rng.Gaussian(cfg.accuracy_mean, cfg.accuracy_stddev);
+    } else {
+      acc = rng.Uniform(cfg.accuracy_mean - cfg.accuracy_halfwidth,
+                        cfg.accuracy_mean + cfg.accuracy_halfwidth);
+    }
+    w.historical_accuracy = Clamp(acc, cfg.accuracy_floor, cfg.accuracy_ceil);
+    instance.workers.push_back(w);
+  }
+
+  LTC_RETURN_IF_ERROR(instance.Validate().WithContext("GenerateSynthetic"));
+  return instance;
+}
+
+}  // namespace gen
+}  // namespace ltc

@@ -1,0 +1,162 @@
+#include "geo/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ltc {
+namespace geo {
+
+StatusOr<GridIndex> GridIndex::Build(std::vector<Point> points,
+                                     double cell_size) {
+  if (!(cell_size > 0.0)) {
+    return Status::InvalidArgument("GridIndex cell_size must be positive");
+  }
+  GridIndex index;
+  index.points_ = std::move(points);
+  index.cell_size_ = cell_size;
+  index.bounds_ = Rect::BoundingBox(index.points_);
+  if (index.points_.empty()) {
+    index.cells_x_ = index.cells_y_ = 1;
+    index.cell_start_.assign(2, 0);
+    return index;
+  }
+  index.cells_x_ = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(index.bounds_.Width() / cell_size) + 1);
+  index.cells_y_ = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(index.bounds_.Height() / cell_size) + 1);
+
+  const std::size_t num_cells =
+      static_cast<std::size_t>(index.cells_x_ * index.cells_y_);
+  // Counting sort of point ids into cells (CSR).
+  std::vector<std::int64_t> counts(num_cells + 1, 0);
+  std::vector<std::int64_t> cell_of(index.points_.size());
+  for (std::size_t i = 0; i < index.points_.size(); ++i) {
+    std::int64_t cx;
+    std::int64_t cy;
+    index.CellOf(index.points_[i], &cx, &cy);
+    const std::int64_t c = cy * index.cells_x_ + cx;
+    cell_of[i] = c;
+    ++counts[static_cast<std::size_t>(c) + 1];
+  }
+  for (std::size_t c = 1; c < counts.size(); ++c) counts[c] += counts[c - 1];
+  index.cell_start_ = counts;
+  index.ids_.resize(index.points_.size());
+  std::vector<std::int64_t> cursor(counts.begin(), counts.end() - 1);
+  for (std::size_t i = 0; i < index.points_.size(); ++i) {
+    const auto c = static_cast<std::size_t>(cell_of[i]);
+    index.ids_[static_cast<std::size_t>(cursor[c]++)] =
+        static_cast<std::int64_t>(i);
+  }
+  // Ascending ids inside each cell come for free from the stable fill above.
+  return index;
+}
+
+void GridIndex::CellOf(const Point& p, std::int64_t* cx, std::int64_t* cy) const {
+  std::int64_t x = static_cast<std::int64_t>((p.x - bounds_.min_x) / cell_size_);
+  std::int64_t y = static_cast<std::int64_t>((p.y - bounds_.min_y) / cell_size_);
+  *cx = std::clamp<std::int64_t>(x, 0, cells_x_ - 1);
+  *cy = std::clamp<std::int64_t>(y, 0, cells_y_ - 1);
+}
+
+void GridIndex::QueryRadius(const Point& center, double radius,
+                            std::vector<std::int64_t>* out) const {
+  out->clear();
+  if (points_.empty() || radius < 0.0) return;
+  const double r2 = radius * radius;
+  // Cell range covering the query disk (clamped to the grid).
+  const auto lo_x = static_cast<std::int64_t>(
+      std::floor((center.x - radius - bounds_.min_x) / cell_size_));
+  const auto hi_x = static_cast<std::int64_t>(
+      std::floor((center.x + radius - bounds_.min_x) / cell_size_));
+  const auto lo_y = static_cast<std::int64_t>(
+      std::floor((center.y - radius - bounds_.min_y) / cell_size_));
+  const auto hi_y = static_cast<std::int64_t>(
+      std::floor((center.y + radius - bounds_.min_y) / cell_size_));
+  for (std::int64_t cy = std::max<std::int64_t>(0, lo_y);
+       cy <= std::min(cells_y_ - 1, hi_y); ++cy) {
+    for (std::int64_t cx = std::max<std::int64_t>(0, lo_x);
+         cx <= std::min(cells_x_ - 1, hi_x); ++cx) {
+      const auto c = static_cast<std::size_t>(cy * cells_x_ + cx);
+      for (std::int64_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
+        const std::int64_t id = ids_[static_cast<std::size_t>(k)];
+        if (SquaredDistance(points_[static_cast<std::size_t>(id)], center) <=
+            r2) {
+          out->push_back(id);
+        }
+      }
+    }
+  }
+  std::sort(out->begin(), out->end());
+}
+
+std::int64_t GridIndex::CountRadius(const Point& center, double radius) const {
+  if (points_.empty() || radius < 0.0) return 0;
+  const double r2 = radius * radius;
+  const auto lo_x = static_cast<std::int64_t>(
+      std::floor((center.x - radius - bounds_.min_x) / cell_size_));
+  const auto hi_x = static_cast<std::int64_t>(
+      std::floor((center.x + radius - bounds_.min_x) / cell_size_));
+  const auto lo_y = static_cast<std::int64_t>(
+      std::floor((center.y - radius - bounds_.min_y) / cell_size_));
+  const auto hi_y = static_cast<std::int64_t>(
+      std::floor((center.y + radius - bounds_.min_y) / cell_size_));
+  std::int64_t count = 0;
+  for (std::int64_t cy = std::max<std::int64_t>(0, lo_y);
+       cy <= std::min(cells_y_ - 1, hi_y); ++cy) {
+    for (std::int64_t cx = std::max<std::int64_t>(0, lo_x);
+         cx <= std::min(cells_x_ - 1, hi_x); ++cx) {
+      const auto c = static_cast<std::size_t>(cy * cells_x_ + cx);
+      for (std::int64_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
+        const std::int64_t id = ids_[static_cast<std::size_t>(k)];
+        if (SquaredDistance(points_[static_cast<std::size_t>(id)], center) <=
+            r2) {
+          ++count;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+std::int64_t GridIndex::Nearest(const Point& center) const {
+  if (points_.empty()) return -1;
+  // Expanding ring search over cells.
+  std::int64_t ccx;
+  std::int64_t ccy;
+  CellOf(center, &ccx, &ccy);
+  std::int64_t best = -1;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  const std::int64_t max_ring = std::max(cells_x_, cells_y_);
+  for (std::int64_t ring = 0; ring <= max_ring; ++ring) {
+    // Once a candidate exists and the ring's nearest possible distance
+    // exceeds it, stop.
+    if (best >= 0) {
+      const double ring_min = (ring - 1) * cell_size_;
+      if (ring_min > 0 && ring_min * ring_min > best_d2) break;
+    }
+    for (std::int64_t cy = ccy - ring; cy <= ccy + ring; ++cy) {
+      if (cy < 0 || cy >= cells_y_) continue;
+      for (std::int64_t cx = ccx - ring; cx <= ccx + ring; ++cx) {
+        if (cx < 0 || cx >= cells_x_) continue;
+        // Only the ring boundary (interior was visited by smaller rings).
+        if (ring > 0 && std::abs(cx - ccx) != ring && std::abs(cy - ccy) != ring)
+          continue;
+        const auto c = static_cast<std::size_t>(cy * cells_x_ + cx);
+        for (std::int64_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
+          const std::int64_t id = ids_[static_cast<std::size_t>(k)];
+          const double d2 =
+              SquaredDistance(points_[static_cast<std::size_t>(id)], center);
+          if (d2 < best_d2 || (d2 == best_d2 && id < best)) {
+            best_d2 = d2;
+            best = id;
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace geo
+}  // namespace ltc

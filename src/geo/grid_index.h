@@ -1,0 +1,67 @@
+// Uniform-grid spatial index over a static point set.
+//
+// This is the workhorse behind eligibility queries: every algorithm needs
+// "tasks within reach of this worker" per arrival, and the experiment scale
+// (|W| up to 400K, |T| up to 100K in Fig. 4b) makes brute-force scans
+// intractable. Cell size defaults to the query radius so a radius query
+// touches at most a 3x3 block of cells.
+
+#ifndef LTC_GEO_GRID_INDEX_H_
+#define LTC_GEO_GRID_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/point.h"
+#include "geo/rect.h"
+
+namespace ltc {
+namespace geo {
+
+/// \brief Static uniform grid over points, supporting radius queries.
+///
+/// Build once from a point vector (ids are the vector indices), then query.
+/// Thread-compatible: const queries are safe concurrently.
+class GridIndex {
+ public:
+  /// Builds an index with the given cell size. cell_size must be > 0.
+  static StatusOr<GridIndex> Build(std::vector<Point> points, double cell_size);
+
+  /// Appends ids of all points within `radius` of `center` (inclusive) to
+  /// *out (cleared first). Results are in ascending id order.
+  void QueryRadius(const Point& center, double radius,
+                   std::vector<std::int64_t>* out) const;
+
+  /// Counts points within `radius` of `center` without materialising ids.
+  std::int64_t CountRadius(const Point& center, double radius) const;
+
+  /// Id of the nearest point to `center` (-1 if the index is empty).
+  std::int64_t Nearest(const Point& center) const;
+
+  std::size_t size() const { return points_.size(); }
+  const Point& point(std::int64_t id) const {
+    return points_[static_cast<std::size_t>(id)];
+  }
+
+ private:
+  GridIndex() = default;
+
+  /// Grid coordinates of a point (clamped into the grid extent).
+  void CellOf(const Point& p, std::int64_t* cx, std::int64_t* cy) const;
+
+  std::vector<Point> points_;
+  Rect bounds_;
+  double cell_size_ = 1.0;
+  std::int64_t cells_x_ = 0;
+  std::int64_t cells_y_ = 0;
+  // CSR layout: ids of points in cell c live at ids_[cell_start_[c] ..
+  // cell_start_[c+1]).
+  std::vector<std::int64_t> cell_start_;
+  std::vector<std::int64_t> ids_;
+};
+
+}  // namespace geo
+}  // namespace ltc
+
+#endif  // LTC_GEO_GRID_INDEX_H_

@@ -1,0 +1,103 @@
+#include "geo/kdtree.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace ltc {
+namespace geo {
+
+KdTree::KdTree(std::vector<Point> points) : points_(std::move(points)) {
+  if (points_.empty()) return;
+  std::vector<std::int64_t> ids(points_.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  nodes_.reserve(points_.size());
+  root_ = BuildRec(&ids, 0, ids.size(), 0);
+}
+
+std::int32_t KdTree::BuildRec(std::vector<std::int64_t>* ids, std::size_t lo,
+                              std::size_t hi, int depth) {
+  if (lo >= hi) return -1;
+  const int axis = depth % 2;
+  const std::size_t mid = (lo + hi) / 2;
+  auto cmp = [&](std::int64_t a, std::int64_t b) {
+    const Point& pa = points_[static_cast<std::size_t>(a)];
+    const Point& pb = points_[static_cast<std::size_t>(b)];
+    const double va = axis == 0 ? pa.x : pa.y;
+    const double vb = axis == 0 ? pb.x : pb.y;
+    if (va != vb) return va < vb;
+    return a < b;  // deterministic tie-break
+  };
+  std::nth_element(ids->begin() + static_cast<std::ptrdiff_t>(lo),
+                   ids->begin() + static_cast<std::ptrdiff_t>(mid),
+                   ids->begin() + static_cast<std::ptrdiff_t>(hi), cmp);
+  const std::int32_t me = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(Node{(*ids)[mid], static_cast<std::int32_t>(axis), -1, -1,
+                        Rect{}});
+  const std::int32_t left = BuildRec(ids, lo, mid, depth + 1);
+  const std::int32_t right = BuildRec(ids, mid + 1, hi, depth + 1);
+  nodes_[static_cast<std::size_t>(me)].left = left;
+  nodes_[static_cast<std::size_t>(me)].right = right;
+  // Subtree bounding box = own point + child boxes.
+  const Point& p = points_[static_cast<std::size_t>(
+      nodes_[static_cast<std::size_t>(me)].point_id)];
+  Rect box{p.x, p.y, p.x, p.y};
+  for (std::int32_t child : {left, right}) {
+    if (child < 0) continue;
+    const Rect& cb = nodes_[static_cast<std::size_t>(child)].bounds;
+    box.min_x = std::min(box.min_x, cb.min_x);
+    box.min_y = std::min(box.min_y, cb.min_y);
+    box.max_x = std::max(box.max_x, cb.max_x);
+    box.max_y = std::max(box.max_y, cb.max_y);
+  }
+  nodes_[static_cast<std::size_t>(me)].bounds = box;
+  return me;
+}
+
+void KdTree::QueryRadius(const Point& center, double radius,
+                         std::vector<std::int64_t>* out) const {
+  out->clear();
+  if (root_ < 0 || radius < 0.0) return;
+  QueryRec(root_, center, radius * radius, out);
+  std::sort(out->begin(), out->end());
+}
+
+void KdTree::QueryRec(std::int32_t node, const Point& center, double r2,
+                      std::vector<std::int64_t>* out) const {
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  if (n.bounds.SquaredDistanceTo(center) > r2) return;
+  const Point& p = points_[static_cast<std::size_t>(n.point_id)];
+  if (SquaredDistance(p, center) <= r2) out->push_back(n.point_id);
+  if (n.left >= 0) QueryRec(n.left, center, r2, out);
+  if (n.right >= 0) QueryRec(n.right, center, r2, out);
+}
+
+std::int64_t KdTree::Nearest(const Point& center) const {
+  if (root_ < 0) return -1;
+  std::int64_t best = -1;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  NearestRec(root_, center, &best, &best_d2);
+  return best;
+}
+
+void KdTree::NearestRec(std::int32_t node, const Point& center,
+                        std::int64_t* best, double* best_d2) const {
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  if (n.bounds.SquaredDistanceTo(center) > *best_d2) return;
+  const Point& p = points_[static_cast<std::size_t>(n.point_id)];
+  const double d2 = SquaredDistance(p, center);
+  if (d2 < *best_d2 || (d2 == *best_d2 && n.point_id < *best)) {
+    *best_d2 = d2;
+    *best = n.point_id;
+  }
+  // Visit the nearer child first for earlier pruning.
+  const double split = n.axis == 0 ? p.x : p.y;
+  const double cval = n.axis == 0 ? center.x : center.y;
+  const std::int32_t first = cval <= split ? n.left : n.right;
+  const std::int32_t second = cval <= split ? n.right : n.left;
+  if (first >= 0) NearestRec(first, center, best, best_d2);
+  if (second >= 0) NearestRec(second, center, best, best_d2);
+}
+
+}  // namespace geo
+}  // namespace ltc

@@ -1,0 +1,64 @@
+// Static 2-d tree over a point set: an alternative spatial index to
+// GridIndex. The grid wins on the paper's uniform workloads; the k-d tree is
+// robust to heavy clustering (the Foursquare-like city generator), and the
+// two implementations cross-check each other in tests.
+
+#ifndef LTC_GEO_KDTREE_H_
+#define LTC_GEO_KDTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+#include "geo/rect.h"
+
+namespace ltc {
+namespace geo {
+
+/// \brief Balanced, implicitly-stored k-d tree (median splits).
+///
+/// Build is O(n log n); radius queries are O(sqrt(n) + k) typical.
+/// Thread-compatible for const queries.
+class KdTree {
+ public:
+  /// Builds from points; ids are the vector indices.
+  explicit KdTree(std::vector<Point> points);
+
+  /// Appends ids of all points within `radius` of `center` to *out
+  /// (cleared first), in ascending id order.
+  void QueryRadius(const Point& center, double radius,
+                   std::vector<std::int64_t>* out) const;
+
+  /// Id of the nearest point (-1 if empty). Ties prefer the smaller id.
+  std::int64_t Nearest(const Point& center) const;
+
+  std::size_t size() const { return points_.size(); }
+  const Point& point(std::int64_t id) const {
+    return points_[static_cast<std::size_t>(id)];
+  }
+
+ private:
+  struct Node {
+    std::int64_t point_id;   // id at this node
+    std::int32_t axis;       // 0 = x, 1 = y
+    std::int32_t left = -1;  // node indices
+    std::int32_t right = -1;
+    Rect bounds;             // bounding box of the subtree
+  };
+
+  std::int32_t BuildRec(std::vector<std::int64_t>* ids, std::size_t lo,
+                        std::size_t hi, int depth);
+  void QueryRec(std::int32_t node, const Point& center, double r2,
+                std::vector<std::int64_t>* out) const;
+  void NearestRec(std::int32_t node, const Point& center, std::int64_t* best,
+                  double* best_d2) const;
+
+  std::vector<Point> points_;
+  std::vector<Node> nodes_;
+  std::int32_t root_ = -1;
+};
+
+}  // namespace geo
+}  // namespace ltc
+
+#endif  // LTC_GEO_KDTREE_H_

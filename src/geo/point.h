@@ -1,0 +1,42 @@
+// 2D geometry primitives. The paper places tasks and workers on a Euclidean
+// plane (a 1000x1000 grid of 10m cells in the synthetic setup) and uses the
+// Euclidean distance ||l_w - l_t|| inside the accuracy function (Eq. 1).
+
+#ifndef LTC_GEO_POINT_H_
+#define LTC_GEO_POINT_H_
+
+#include <cmath>
+#include <ostream>
+
+namespace ltc {
+namespace geo {
+
+/// A point in the plane. Units are grid units (the synthetic setup maps one
+/// unit to 10 meters; dmax = 30 units = 300 m).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+inline double SquaredDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+inline double Distance(const Point& a, const Point& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << "(" << p.x << ", " << p.y << ")";
+}
+
+}  // namespace geo
+}  // namespace ltc
+
+#endif  // LTC_GEO_POINT_H_

@@ -1,0 +1,56 @@
+// Axis-aligned bounding rectangle.
+
+#ifndef LTC_GEO_RECT_H_
+#define LTC_GEO_RECT_H_
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace ltc {
+namespace geo {
+
+/// Closed axis-aligned rectangle [min_x, max_x] x [min_y, max_y].
+struct Rect {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  double Width() const { return max_x - min_x; }
+  double Height() const { return max_y - min_y; }
+
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  /// Squared distance from p to the rectangle (0 if inside).
+  double SquaredDistanceTo(const Point& p) const {
+    const double dx = std::max({min_x - p.x, 0.0, p.x - max_x});
+    const double dy = std::max({min_y - p.y, 0.0, p.y - max_y});
+    return dx * dx + dy * dy;
+  }
+
+  /// Smallest rectangle covering all points; degenerate (0-size) if empty.
+  static Rect BoundingBox(const std::vector<Point>& points) {
+    if (points.empty()) return Rect{};
+    Rect r{std::numeric_limits<double>::infinity(),
+           std::numeric_limits<double>::infinity(),
+           -std::numeric_limits<double>::infinity(),
+           -std::numeric_limits<double>::infinity()};
+    for (const Point& p : points) {
+      r.min_x = std::min(r.min_x, p.x);
+      r.min_y = std::min(r.min_y, p.y);
+      r.max_x = std::max(r.max_x, p.x);
+      r.max_y = std::max(r.max_y, p.y);
+    }
+    return r;
+  }
+};
+
+}  // namespace geo
+}  // namespace ltc
+
+#endif  // LTC_GEO_RECT_H_

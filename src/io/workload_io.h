@@ -1,0 +1,62 @@
+// Plain-text (de)serialisation of problem instances and arrangements, so
+// workloads can be generated once, archived, replayed across machines, and
+// attached to bug reports. The format is line-oriented and versioned.
+//
+//   # ltc-workload v1
+//   epsilon 0.1
+//   capacity 6
+//   acc_min 0.66
+//   accuracy sigmoid 30
+//   tasks 2
+//   t 0 12.5 40.25
+//   t 1 99 3
+//   workers 1
+//   w 1 5.0 6.0 0.92 -1
+//
+// Only the distance-based accuracy models round-trip (sigmoid/step/flat);
+// matrix accuracies are test fixtures and are not serialised.
+
+#ifndef LTC_IO_WORKLOAD_IO_H_
+#define LTC_IO_WORKLOAD_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "model/arrangement.h"
+#include "model/problem.h"
+
+namespace ltc {
+namespace io {
+
+/// Serialises the instance into the v1 text format.
+StatusOr<std::string> SerializeInstance(const model::ProblemInstance& instance);
+
+/// Parses the v1 text format back into an instance.
+StatusOr<model::ProblemInstance> ParseInstance(const std::string& text);
+
+/// Writes SerializeInstance output to a file.
+Status SaveInstance(const model::ProblemInstance& instance,
+                    const std::string& path);
+
+/// Reads a file saved with SaveInstance.
+StatusOr<model::ProblemInstance> LoadInstance(const std::string& path);
+
+/// Serialises an arrangement as "a <worker> <task>" lines (Acc* values are
+/// recomputed from the instance on load).
+std::string SerializeArrangement(const model::Arrangement& arrangement);
+
+/// Parses an arrangement against its instance; validates ids and recomputes
+/// Acc* contributions.
+StatusOr<model::Arrangement> ParseArrangement(
+    const model::ProblemInstance& instance, const std::string& text);
+
+/// Reads an entire file into a string.
+StatusOr<std::string> ReadFile(const std::string& path);
+
+/// Writes a string to a file (overwrites).
+Status WriteFile(const std::string& path, const std::string& content);
+
+}  // namespace io
+}  // namespace ltc
+
+#endif  // LTC_IO_WORKLOAD_IO_H_

@@ -1,0 +1,100 @@
+#include "model/accuracy.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "geo/point.h"
+
+namespace ltc {
+namespace model {
+
+SigmoidDistanceAccuracy::SigmoidDistanceAccuracy(double dmax) : dmax_(dmax) {}
+
+double SigmoidDistanceAccuracy::Acc(const Worker& w, const Task& t) const {
+  const double d = geo::Distance(w.location, t.location);
+  return w.historical_accuracy * Sigmoid(dmax_ - d);
+}
+
+std::optional<double> SigmoidDistanceAccuracy::EligibleRadius(
+    const Worker& w, double acc_min) const {
+  // p * sigmoid(dmax - d) >= acc_min  <=>  d <= dmax - logit(acc_min / p).
+  if (acc_min <= 0.0) return std::nullopt;  // everything eligible
+  const double ratio = acc_min / w.historical_accuracy;
+  if (ratio >= 1.0) {
+    // Even at distance 0 the sigmoid < 1, so nothing is eligible... except
+    // asymptotically; return radius 0 if Acc at distance 0 suffices.
+    return w.historical_accuracy * Sigmoid(dmax_) >= acc_min
+               ? std::optional<double>(0.0)
+               : std::optional<double>(-1.0);  // empty disk
+  }
+  const double logit = std::log(ratio / (1.0 - ratio));
+  const double radius = dmax_ - logit;
+  return radius < 0.0 ? std::optional<double>(-1.0)
+                      : std::optional<double>(radius);
+}
+
+std::string SigmoidDistanceAccuracy::Name() const {
+  return StrFormat("sigmoid(dmax=%g)", dmax_);
+}
+
+StatusOr<std::shared_ptr<MatrixAccuracy>> MatrixAccuracy::Create(
+    std::vector<std::vector<double>> matrix) {
+  if (matrix.empty()) {
+    return Status::InvalidArgument("MatrixAccuracy: empty matrix");
+  }
+  const std::size_t cols = matrix[0].size();
+  for (const auto& row : matrix) {
+    if (row.size() != cols) {
+      return Status::InvalidArgument("MatrixAccuracy: ragged matrix");
+    }
+    for (double v : row) {
+      if (v < 0.0 || v > 1.0) {
+        return Status::InvalidArgument(
+            StrFormat("MatrixAccuracy: accuracy %g outside [0, 1]", v));
+      }
+    }
+  }
+  return std::shared_ptr<MatrixAccuracy>(new MatrixAccuracy(std::move(matrix)));
+}
+
+MatrixAccuracy::MatrixAccuracy(std::vector<std::vector<double>> matrix)
+    : matrix_(std::move(matrix)) {}
+
+double MatrixAccuracy::Acc(const Worker& w, const Task& t) const {
+  const auto row = static_cast<std::size_t>(w.index - 1);
+  const auto col = static_cast<std::size_t>(t.id);
+  if (row >= matrix_.size() || col >= matrix_[row].size()) return 0.0;
+  return matrix_[row][col];
+}
+
+std::string MatrixAccuracy::Name() const {
+  return StrFormat("matrix(%zux%zu)", matrix_.size(),
+                   matrix_.empty() ? 0 : matrix_[0].size());
+}
+
+StepDistanceAccuracy::StepDistanceAccuracy(double dmax) : dmax_(dmax) {}
+
+double StepDistanceAccuracy::Acc(const Worker& w, const Task& t) const {
+  const double d = geo::Distance(w.location, t.location);
+  return d <= dmax_ ? w.historical_accuracy : 0.0;
+}
+
+std::optional<double> StepDistanceAccuracy::EligibleRadius(
+    const Worker& w, double acc_min) const {
+  return w.historical_accuracy >= acc_min ? std::optional<double>(dmax_)
+                                          : std::optional<double>(-1.0);
+}
+
+std::string StepDistanceAccuracy::Name() const {
+  return StrFormat("step(dmax=%g)", dmax_);
+}
+
+double FlatAccuracy::Acc(const Worker& w, const Task& t) const {
+  (void)t;
+  return w.historical_accuracy;
+}
+
+std::string FlatAccuracy::Name() const { return "flat"; }
+
+}  // namespace model
+}  // namespace ltc

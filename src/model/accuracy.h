@@ -1,0 +1,124 @@
+// Predicted accuracy functions (paper Definition 3).
+//
+// The paper's concrete choice (Eq. 1) is the distance-attenuated sigmoid
+//     Acc(w,t) = p_w / (1 + exp(-(dmax - ||l_w - l_t||)))
+// but the problem statement explicitly allows other functions; the interface
+// below makes them pluggable (the paper-example accuracy matrix and two
+// ablation variants are provided).
+//
+// Acc*(w,t) = (2 Acc(w,t) - 1)^2 is the Hoeffding contribution of one answer
+// to a task's quality accumulator.
+
+#ifndef LTC_MODEL_ACCURACY_H_
+#define LTC_MODEL_ACCURACY_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/status.h"
+#include "model/task.h"
+#include "model/worker.h"
+
+namespace ltc {
+namespace model {
+
+/// \brief Interface of a predicted-accuracy model.
+///
+/// Implementations must be pure functions of (worker, task): the algorithms
+/// evaluate pairs repeatedly and in different orders.
+class AccuracyFunction {
+ public:
+  virtual ~AccuracyFunction() = default;
+
+  /// Predicted accuracy in [0, 1].
+  virtual double Acc(const Worker& w, const Task& t) const = 0;
+
+  /// Hoeffding weight contribution (2 Acc - 1)^2.
+  double AccStar(const Worker& w, const Task& t) const {
+    return Sqr(2.0 * Acc(w, t) - 1.0);
+  }
+
+  /// For distance-attenuated models: the largest distance at which this
+  /// worker can still reach `acc_min` predicted accuracy. Enables spatial
+  /// pruning of eligibility queries. nullopt = no distance structure (the
+  /// eligibility index falls back to a full scan).
+  virtual std::optional<double> EligibleRadius(const Worker& w,
+                                               double acc_min) const {
+    (void)w;
+    (void)acc_min;
+    return std::nullopt;
+  }
+
+  /// Human-readable name for logs and bench output.
+  virtual std::string Name() const = 0;
+};
+
+/// \brief The paper's Eq. 1: sigmoid distance attenuation of the worker's
+/// historical accuracy, with range parameter dmax.
+class SigmoidDistanceAccuracy : public AccuracyFunction {
+ public:
+  /// dmax: the largest distance at which workers perform tasks with high
+  /// accuracy (paper default: 30 grid units = 300 m, from the Foursquare
+  /// region-preference study [17]).
+  explicit SigmoidDistanceAccuracy(double dmax);
+
+  double Acc(const Worker& w, const Task& t) const override;
+  std::optional<double> EligibleRadius(const Worker& w,
+                                       double acc_min) const override;
+  std::string Name() const override;
+
+  double dmax() const { return dmax_; }
+
+ private:
+  double dmax_;
+};
+
+/// \brief Accuracy given by an explicit |W| x |T| matrix (the paper's Table I
+/// running example, and handy for adversarial unit tests).
+class MatrixAccuracy : public AccuracyFunction {
+ public:
+  /// matrix[w][t] = Acc of worker with index w+1 on task t. All rows must
+  /// have equal length.
+  static StatusOr<std::shared_ptr<MatrixAccuracy>> Create(
+      std::vector<std::vector<double>> matrix);
+
+  double Acc(const Worker& w, const Task& t) const override;
+  std::string Name() const override;
+
+ private:
+  explicit MatrixAccuracy(std::vector<std::vector<double>> matrix);
+  std::vector<std::vector<double>> matrix_;
+};
+
+/// \brief Ablation: hard cutoff — full historical accuracy within dmax, zero
+/// beyond. Isolates the effect of the sigmoid's soft edge.
+class StepDistanceAccuracy : public AccuracyFunction {
+ public:
+  explicit StepDistanceAccuracy(double dmax);
+
+  double Acc(const Worker& w, const Task& t) const override;
+  std::optional<double> EligibleRadius(const Worker& w,
+                                       double acc_min) const override;
+  std::string Name() const override;
+
+ private:
+  double dmax_;
+};
+
+/// \brief Ablation: ignores distance entirely (classic non-spatial
+/// crowdsourcing; reduces LTC to a pure quality/latency trade-off).
+class FlatAccuracy : public AccuracyFunction {
+ public:
+  FlatAccuracy() = default;
+
+  double Acc(const Worker& w, const Task& t) const override;
+  std::string Name() const override;
+};
+
+}  // namespace model
+}  // namespace ltc
+
+#endif  // LTC_MODEL_ACCURACY_H_

@@ -1,0 +1,71 @@
+#include "model/eligibility.h"
+
+#include <algorithm>
+
+namespace ltc {
+namespace model {
+
+StatusOr<EligibilityIndex> EligibilityIndex::Build(
+    const ProblemInstance* instance) {
+  if (instance == nullptr) {
+    return Status::InvalidArgument("EligibilityIndex: null instance");
+  }
+  LTC_RETURN_IF_ERROR(instance->Validate());
+  EligibilityIndex index(instance);
+
+  // Decide whether the accuracy model supports spatial pruning: probe with a
+  // perfect-accuracy worker (any worker's radius is <= this one's).
+  Worker probe;
+  probe.index = 1;
+  probe.historical_accuracy = 1.0;
+  const auto probe_radius =
+      instance->accuracy->EligibleRadius(probe, instance->acc_min);
+  if (probe_radius.has_value()) {
+    std::vector<geo::Point> locations;
+    locations.reserve(instance->tasks.size());
+    for (const Task& t : instance->tasks) locations.push_back(t.location);
+    // Cell size of the order of the largest query radius keeps radius
+    // queries within a 3x3 cell block; guard against degenerate radii.
+    const double cell = std::max(1e-6, std::max(*probe_radius, 1.0));
+    LTC_ASSIGN_OR_RETURN(auto grid,
+                         geo::GridIndex::Build(std::move(locations), cell));
+    index.grid_.emplace(std::move(grid));
+  }
+  return index;
+}
+
+std::optional<double> EligibilityIndex::QueryRadius(const Worker& w) const {
+  if (!grid_.has_value()) return std::nullopt;
+  return instance_->accuracy->EligibleRadius(w, instance_->acc_min);
+}
+
+void EligibilityIndex::EligibleTasks(const Worker& w,
+                                     std::vector<TaskId>* out) const {
+  out->clear();
+  const auto radius = QueryRadius(w);
+  if (radius.has_value()) {
+    if (*radius < 0.0) return;  // empty disk: nothing in reach
+    std::vector<std::int64_t> ids;
+    grid_->QueryRadius(w.location, *radius, &ids);
+    out->reserve(ids.size());
+    for (std::int64_t id : ids) {
+      const auto t = static_cast<TaskId>(id);
+      // The radius is exact for distance-monotone models, but re-check so
+      // that approximate EligibleRadius implementations stay safe.
+      if (instance_->Eligible(w.index, t)) out->push_back(t);
+    }
+    return;
+  }
+  for (const Task& t : instance_->tasks) {
+    if (instance_->Eligible(w.index, t.id)) out->push_back(t.id);
+  }
+}
+
+std::int64_t EligibilityIndex::CountEligible(const Worker& w) const {
+  std::vector<TaskId> ids;
+  EligibleTasks(w, &ids);
+  return static_cast<std::int64_t>(ids.size());
+}
+
+}  // namespace model
+}  // namespace ltc

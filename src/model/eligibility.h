@@ -1,0 +1,58 @@
+// Eligibility queries: "which tasks may this worker perform?"
+//
+// Every LTC algorithm enumerates, per arriving worker, the tasks with
+// Acc(w,t) >= acc_min. For distance-attenuated accuracy models the index
+// answers this with a grid-index radius query (the radius comes from
+// AccuracyFunction::EligibleRadius); otherwise it degrades to a filtered
+// scan over all tasks, which matches the paper's O(|T|) per-arrival loops.
+
+#ifndef LTC_MODEL_ELIGIBILITY_H_
+#define LTC_MODEL_ELIGIBILITY_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/grid_index.h"
+#include "model/problem.h"
+
+namespace ltc {
+namespace model {
+
+/// \brief Precomputed spatial index over an instance's task locations.
+///
+/// Thread-compatible: concurrent const use is safe; callers own their output
+/// buffers.
+class EligibilityIndex {
+ public:
+  /// Builds the index. The instance must outlive the index.
+  static StatusOr<EligibilityIndex> Build(const ProblemInstance* instance);
+
+  /// Fills *out (cleared first) with ids of all tasks eligible for `w`,
+  /// in ascending id order.
+  void EligibleTasks(const Worker& w, std::vector<TaskId>* out) const;
+
+  /// Count of eligible tasks for `w`.
+  std::int64_t CountEligible(const Worker& w) const;
+
+  /// True when spatial pruning is in effect (vs. full scans).
+  bool spatial() const { return grid_.has_value(); }
+
+  const ProblemInstance& instance() const { return *instance_; }
+
+ private:
+  explicit EligibilityIndex(const ProblemInstance* instance)
+      : instance_(instance) {}
+
+  /// Per-worker pruning radius, or nullopt when scanning.
+  std::optional<double> QueryRadius(const Worker& w) const;
+
+  const ProblemInstance* instance_;
+  std::optional<geo::GridIndex> grid_;
+};
+
+}  // namespace model
+}  // namespace ltc
+
+#endif  // LTC_MODEL_ELIGIBILITY_H_

@@ -1,0 +1,67 @@
+#include "model/problem.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "model/quality.h"
+
+namespace ltc {
+namespace model {
+
+double ProblemInstance::Delta() const {
+  return 2.0 * std::log(1.0 / epsilon);
+}
+
+Status ProblemInstance::Validate() const {
+  if (accuracy == nullptr) {
+    return Status::InvalidArgument("instance has no accuracy function");
+  }
+  if (!(epsilon > 0.0) || !(epsilon < 1.0)) {
+    return Status::InvalidArgument(
+        StrFormat("epsilon must be in (0, 1), got %g", epsilon));
+  }
+  if (capacity <= 0) {
+    return Status::InvalidArgument(
+        StrFormat("capacity must be positive, got %d", capacity));
+  }
+  if (acc_min < 0.0 || acc_min >= 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("acc_min must be in [0, 1), got %g", acc_min));
+  }
+  if (tasks.empty()) {
+    return Status::InvalidArgument("instance has no tasks");
+  }
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (tasks[i].id != static_cast<TaskId>(i)) {
+      return Status::InvalidArgument(
+          StrFormat("task ids must be dense 0..|T|-1; tasks[%zu].id = %d", i,
+                    tasks[i].id));
+    }
+  }
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    const Worker& w = workers[i];
+    if (w.index != static_cast<WorkerIndex>(i + 1)) {
+      return Status::InvalidArgument(
+          StrFormat("worker indices must be 1..|W| in order; workers[%zu]"
+                    ".index = %d",
+                    i, w.index));
+    }
+    if (w.historical_accuracy < 0.0 || w.historical_accuracy > 1.0) {
+      return Status::InvalidArgument(
+          StrFormat("worker %d historical accuracy %g outside [0, 1]", w.index,
+                    w.historical_accuracy));
+    }
+  }
+  return Status::OK();
+}
+
+std::string ProblemInstance::Summary() const {
+  return StrFormat("|T|=%lld |W|=%lld K=%d eps=%g delta=%.3f acc_min=%g acc=%s",
+                   static_cast<long long>(num_tasks()),
+                   static_cast<long long>(num_workers()), capacity, epsilon,
+                   Delta(), acc_min,
+                   accuracy ? accuracy->Name().c_str() : "<none>");
+}
+
+}  // namespace model
+}  // namespace ltc

@@ -1,0 +1,78 @@
+// A full LTC problem instance: tasks, the worker arrival stream, the quality
+// threshold, the shared capacity K, and the accuracy model (paper
+// Definitions 6-7). Offline algorithms see the whole instance; online
+// algorithms must only look at workers[0..i] when deciding for worker i
+// (enforced structurally by the simulation engine in src/sim).
+
+#ifndef LTC_MODEL_PROBLEM_H_
+#define LTC_MODEL_PROBLEM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "model/accuracy.h"
+#include "model/task.h"
+#include "model/worker.h"
+
+namespace ltc {
+namespace model {
+
+/// Default spam threshold: workers/pairs below this predicted accuracy are
+/// never assigned (paper Sec. II-A assumption (i); also what makes
+/// Acc* monotone in Acc — see DESIGN.md "Eligibility").
+inline constexpr double kDefaultAccMin = 0.66;
+
+/// \brief An immutable LTC problem instance.
+struct ProblemInstance {
+  std::vector<Task> tasks;
+  /// Arrival stream; workers[i].index must equal i + 1.
+  std::vector<Worker> workers;
+  /// Tolerable error rate epsilon in (0, 1).
+  double epsilon = 0.1;
+  /// Per-worker capacity K (max tasks per check-in).
+  std::int32_t capacity = 6;
+  /// Eligibility threshold: (w, t) assignable iff Acc(w,t) >= acc_min.
+  double acc_min = kDefaultAccMin;
+  /// Predicted accuracy model (shared; never null in a valid instance).
+  std::shared_ptr<const AccuracyFunction> accuracy;
+
+  std::int64_t num_tasks() const {
+    return static_cast<std::int64_t>(tasks.size());
+  }
+  std::int64_t num_workers() const {
+    return static_cast<std::int64_t>(workers.size());
+  }
+
+  /// delta = 2 ln(1/epsilon). Precondition: a Validate()d instance.
+  double Delta() const;
+
+  /// Predicted accuracy / Hoeffding contribution of a pair.
+  double Acc(WorkerIndex w, TaskId t) const {
+    return accuracy->Acc(workers[static_cast<std::size_t>(w - 1)],
+                         tasks[static_cast<std::size_t>(t)]);
+  }
+  double AccStar(WorkerIndex w, TaskId t) const {
+    return accuracy->AccStar(workers[static_cast<std::size_t>(w - 1)],
+                             tasks[static_cast<std::size_t>(t)]);
+  }
+
+  /// (w, t) may be assigned iff predicted accuracy reaches acc_min.
+  bool Eligible(WorkerIndex w, TaskId t) const {
+    return Acc(w, t) >= acc_min;
+  }
+
+  /// Structural validation: ids dense, indices sequential, parameters in
+  /// range, accuracy model present.
+  Status Validate() const;
+
+  /// One-line description for logs ("|T|=1000 |W|=40000 K=6 eps=0.1 ...").
+  std::string Summary() const;
+};
+
+}  // namespace model
+}  // namespace ltc
+
+#endif  // LTC_MODEL_PROBLEM_H_

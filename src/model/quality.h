@@ -1,0 +1,44 @@
+// Quality threshold machinery (paper Definitions 4-5 and Theorem 2).
+//
+// A task is completed once its accumulated Acc* reaches
+//     delta = 2 ln(1 / epsilon)
+// (Hoeffding bound: weighted majority voting with weights 2Acc-1 then errs
+// with probability < epsilon).
+
+#ifndef LTC_MODEL_QUALITY_H_
+#define LTC_MODEL_QUALITY_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace ltc {
+namespace model {
+
+/// Floating-point slack used when comparing accumulated Acc* against delta,
+/// so summation order can never flip a completed task back to incomplete.
+inline constexpr double kQualityTol = 1e-9;
+
+/// delta = 2 ln(1/epsilon). Requires 0 < epsilon < 1.
+StatusOr<double> DeltaFromEpsilon(double epsilon);
+
+/// Inverse: the epsilon a given delta guarantees (exp(-delta/2)).
+double EpsilonFromDelta(double delta);
+
+/// True once `accumulated` Acc* meets delta (with kQualityTol slack).
+bool ReachedDelta(double accumulated, double delta);
+
+/// Theorem 2 bounds of the optimal maximum latency, assuming |T| >= K:
+///   lower = |T| * delta / K
+///   upper = 10 |T| delta / K + |T| / K + 1
+struct LatencyBounds {
+  double lower = 0.0;
+  double upper = 0.0;
+};
+LatencyBounds TheoremTwoBounds(std::int64_t num_tasks, double delta,
+                               std::int64_t capacity);
+
+}  // namespace model
+}  // namespace ltc
+
+#endif  // LTC_MODEL_QUALITY_H_

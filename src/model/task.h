@@ -1,0 +1,27 @@
+// Micro task (paper Definition 1): a binary question pinned to a location.
+// The tolerable error rate epsilon is shared by all tasks of an instance
+// (paper assumption (ii) in Sec. II-A) and lives on ProblemInstance.
+
+#ifndef LTC_MODEL_TASK_H_
+#define LTC_MODEL_TASK_H_
+
+#include <cstdint>
+
+#include "geo/point.h"
+
+namespace ltc {
+namespace model {
+
+/// Dense task identifier: tasks of an instance are numbered 0..|T|-1.
+using TaskId = std::int32_t;
+
+/// A spatial micro task.
+struct Task {
+  TaskId id = 0;
+  geo::Point location;
+};
+
+}  // namespace model
+}  // namespace ltc
+
+#endif  // LTC_MODEL_TASK_H_

@@ -1,0 +1,208 @@
+#include "model/truth_inference.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace ltc {
+namespace model {
+
+namespace {
+
+/// Groups answer indices per task for cache-friendly passes.
+std::vector<std::vector<std::int32_t>> GroupByTask(
+    const ProblemInstance& instance, const AnswerSet& answers) {
+  std::vector<std::vector<std::int32_t>> per_task(
+      static_cast<std::size_t>(instance.num_tasks()));
+  for (std::size_t i = 0; i < answers.answers.size(); ++i) {
+    per_task[static_cast<std::size_t>(answers.answers[i].task)].push_back(
+        static_cast<std::int32_t>(i));
+  }
+  return per_task;
+}
+
+Status CheckAnswers(const ProblemInstance& instance, const AnswerSet& answers) {
+  if (answers.truth.size() != static_cast<std::size_t>(instance.num_tasks())) {
+    return Status::InvalidArgument(
+        "answer set truth vector does not match the instance's task count");
+  }
+  for (const Answer& a : answers.answers) {
+    if (a.task < 0 || a.task >= instance.num_tasks()) {
+      return Status::OutOfRange("answer references unknown task");
+    }
+    if (a.worker < 1 || a.worker > instance.num_workers()) {
+      return Status::OutOfRange("answer references unknown worker");
+    }
+    if (a.value != 1 && a.value != -1) {
+      return Status::InvalidArgument("answer value must be +1 or -1");
+    }
+  }
+  return Status::OK();
+}
+
+/// Computes the error rate of an estimate vector against the planted truth,
+/// counting only tasks that received answers.
+double ErrorRate(const AnswerSet& answers,
+                 const std::vector<std::int8_t>& estimate) {
+  std::int64_t answered = 0;
+  std::int64_t wrong = 0;
+  for (std::size_t t = 0; t < estimate.size(); ++t) {
+    if (estimate[t] == 0) continue;
+    ++answered;
+    if (estimate[t] != answers.truth[t]) ++wrong;
+  }
+  return answered == 0 ? 0.0
+                       : static_cast<double>(wrong) /
+                             static_cast<double>(answered);
+}
+
+}  // namespace
+
+StatusOr<AnswerSet> SimulateAnswers(const ProblemInstance& instance,
+                                    const Arrangement& arrangement,
+                                    std::uint64_t seed) {
+  LTC_RETURN_IF_ERROR(instance.Validate());
+  Rng rng(seed);
+  AnswerSet set;
+  set.truth.assign(static_cast<std::size_t>(instance.num_tasks()), 0);
+  for (auto& truth : set.truth) {
+    truth = rng.Bernoulli(0.5) ? 1 : -1;
+  }
+  set.answers.reserve(arrangement.assignments().size());
+  for (const Assignment& a : arrangement.assignments()) {
+    if (a.task < 0 || a.task >= instance.num_tasks() || a.worker < 1 ||
+        a.worker > instance.num_workers()) {
+      return Status::OutOfRange("arrangement references unknown ids");
+    }
+    const double acc = instance.Acc(a.worker, a.task);
+    const std::int8_t truth = set.truth[static_cast<std::size_t>(a.task)];
+    Answer answer;
+    answer.worker = a.worker;
+    answer.task = a.task;
+    answer.value = rng.Bernoulli(acc) ? truth : static_cast<std::int8_t>(-truth);
+    set.answers.push_back(answer);
+  }
+  // Tasks with no assignments have no evidence; blank their truth so error
+  // accounting skips them.
+  std::vector<char> has_answer(static_cast<std::size_t>(instance.num_tasks()),
+                               0);
+  for (const Answer& a : set.answers) {
+    has_answer[static_cast<std::size_t>(a.task)] = 1;
+  }
+  for (std::size_t t = 0; t < set.truth.size(); ++t) {
+    if (!has_answer[t]) set.truth[t] = 0;
+  }
+  return set;
+}
+
+StatusOr<InferenceResult> MajorityVote(const ProblemInstance& instance,
+                                       const AnswerSet& answers) {
+  LTC_RETURN_IF_ERROR(CheckAnswers(instance, answers));
+  InferenceResult result;
+  result.estimate.assign(static_cast<std::size_t>(instance.num_tasks()), 0);
+  const auto per_task = GroupByTask(instance, answers);
+  for (std::size_t t = 0; t < per_task.size(); ++t) {
+    if (per_task[t].empty()) continue;
+    std::int64_t sum = 0;
+    for (std::int32_t i : per_task[t]) {
+      sum += answers.answers[static_cast<std::size_t>(i)].value;
+    }
+    result.estimate[t] = sum >= 0 ? 1 : -1;
+  }
+  result.error_rate = ErrorRate(answers, result.estimate);
+  return result;
+}
+
+StatusOr<InferenceResult> WeightedVote(const ProblemInstance& instance,
+                                       const AnswerSet& answers) {
+  LTC_RETURN_IF_ERROR(CheckAnswers(instance, answers));
+  InferenceResult result;
+  result.estimate.assign(static_cast<std::size_t>(instance.num_tasks()), 0);
+  const auto per_task = GroupByTask(instance, answers);
+  for (std::size_t t = 0; t < per_task.size(); ++t) {
+    if (per_task[t].empty()) continue;
+    double vote = 0.0;
+    for (std::int32_t i : per_task[t]) {
+      const Answer& a = answers.answers[static_cast<std::size_t>(i)];
+      const double weight = 2.0 * instance.Acc(a.worker, a.task) - 1.0;
+      vote += weight * static_cast<double>(a.value);
+    }
+    result.estimate[t] = vote >= 0 ? 1 : -1;
+  }
+  result.error_rate = ErrorRate(answers, result.estimate);
+  return result;
+}
+
+StatusOr<InferenceResult> EmTruthInference(const ProblemInstance& instance,
+                                           const AnswerSet& answers,
+                                           const EmOptions& options) {
+  LTC_RETURN_IF_ERROR(CheckAnswers(instance, answers));
+  if (options.max_iterations <= 0) {
+    return Status::InvalidArgument("EM needs at least one iteration");
+  }
+  if (options.initial_accuracy <= 0.5 || options.initial_accuracy >= 1.0) {
+    return Status::InvalidArgument(
+        "EM initial accuracy must be in (0.5, 1)");
+  }
+
+  const auto per_task = GroupByTask(instance, answers);
+  const auto num_workers = static_cast<std::size_t>(instance.num_workers());
+
+  // Per-worker accuracy estimates (1-based index).
+  std::vector<double> accuracy(num_workers + 1, options.initial_accuracy);
+  std::vector<double> posterior(  // P(truth_t = +1 | answers)
+      static_cast<std::size_t>(instance.num_tasks()), 0.5);
+
+  InferenceResult result;
+  for (std::int32_t iteration = 1; iteration <= options.max_iterations;
+       ++iteration) {
+    result.iterations = iteration;
+    // E step: truth posteriors from current accuracies (log-odds form).
+    for (std::size_t t = 0; t < per_task.size(); ++t) {
+      if (per_task[t].empty()) continue;
+      double log_odds = 0.0;
+      for (std::int32_t i : per_task[t]) {
+        const Answer& a = answers.answers[static_cast<std::size_t>(i)];
+        const double p = accuracy[static_cast<std::size_t>(a.worker)];
+        const double log_ratio = std::log(p / (1.0 - p));
+        log_odds += static_cast<double>(a.value) * log_ratio;
+      }
+      posterior[t] = Sigmoid(log_odds);
+    }
+    // M step: re-estimate accuracies with Laplace smoothing.
+    std::vector<double> correct(num_workers + 1, 0.0);
+    std::vector<double> total(num_workers + 1, 0.0);
+    for (const Answer& a : answers.answers) {
+      const auto w = static_cast<std::size_t>(a.worker);
+      const double p_plus = posterior[static_cast<std::size_t>(a.task)];
+      const double p_correct = a.value > 0 ? p_plus : 1.0 - p_plus;
+      correct[w] += p_correct;
+      total[w] += 1.0;
+    }
+    double max_change = 0.0;
+    for (std::size_t w = 1; w <= num_workers; ++w) {
+      if (total[w] == 0.0) continue;
+      const double updated =
+          (correct[w] + options.smoothing * options.initial_accuracy) /
+          (total[w] + options.smoothing);
+      // Clamp away from 0/1 so log-odds stay finite.
+      const double clamped = Clamp(updated, 0.01, 0.99);
+      max_change = std::max(max_change, std::fabs(clamped - accuracy[w]));
+      accuracy[w] = clamped;
+    }
+    if (max_change < options.tolerance) break;
+  }
+
+  result.estimate.assign(static_cast<std::size_t>(instance.num_tasks()), 0);
+  for (std::size_t t = 0; t < per_task.size(); ++t) {
+    if (per_task[t].empty()) continue;
+    result.estimate[t] = posterior[t] >= 0.5 ? 1 : -1;
+  }
+  result.error_rate = ErrorRate(answers, result.estimate);
+  result.worker_accuracy = std::move(accuracy);
+  return result;
+}
+
+}  // namespace model
+}  // namespace ltc

@@ -1,0 +1,58 @@
+#include "model/voting.h"
+
+#include <algorithm>
+
+namespace ltc {
+namespace model {
+
+StatusOr<VotingOutcome> SimulateVoting(const ProblemInstance& instance,
+                                       const Arrangement& arrangement,
+                                       std::int64_t trials,
+                                       std::uint64_t seed) {
+  if (trials <= 0) {
+    return Status::InvalidArgument("SimulateVoting: trials must be positive");
+  }
+  // Group assignments per task once.
+  std::vector<std::vector<const Assignment*>> per_task(
+      static_cast<std::size_t>(instance.num_tasks()));
+  for (const Assignment& a : arrangement.assignments()) {
+    if (a.task < 0 || a.task >= instance.num_tasks()) {
+      return Status::OutOfRange("SimulateVoting: assignment task out of range");
+    }
+    per_task[static_cast<std::size_t>(a.task)].push_back(&a);
+  }
+
+  Rng rng(seed);
+  VotingOutcome outcome;
+  outcome.trials = trials;
+  for (const auto& assignments : per_task) {
+    if (assignments.empty()) continue;
+    ++outcome.tasks;
+    std::int64_t task_errors = 0;
+    for (std::int64_t trial = 0; trial < trials; ++trial) {
+      double vote = 0.0;
+      for (const Assignment* a : assignments) {
+        const double acc = instance.Acc(a->worker, a->task);
+        const double weight = 2.0 * acc - 1.0;
+        const double answer = rng.Bernoulli(acc) ? +1.0 : -1.0;
+        vote += weight * answer;
+      }
+      // Truth is +1; a non-positive weighted vote is an error (ties count as
+      // errors, the conservative reading of sign()).
+      if (vote <= 0.0) ++task_errors;
+    }
+    outcome.errors += task_errors;
+    outcome.max_task_error_rate =
+        std::max(outcome.max_task_error_rate,
+                 static_cast<double>(task_errors) / static_cast<double>(trials));
+  }
+  if (outcome.tasks > 0) {
+    outcome.empirical_error_rate =
+        static_cast<double>(outcome.errors) /
+        static_cast<double>(outcome.tasks * outcome.trials);
+  }
+  return outcome;
+}
+
+}  // namespace model
+}  // namespace ltc

@@ -1,0 +1,36 @@
+// Crowd worker (paper Definition 2): the o_w-th check-in, with a location,
+// a historical accuracy p_w, and the platform-wide capacity K (which lives on
+// ProblemInstance; "each worker has the same capacity", Sec. II-A).
+
+#ifndef LTC_MODEL_WORKER_H_
+#define LTC_MODEL_WORKER_H_
+
+#include <cstdint>
+
+#include "geo/point.h"
+
+namespace ltc {
+namespace model {
+
+/// 1-based arrival index o_w ("the o_w-th person who checks in"). The latency
+/// objective MinMax(M) is a maximum over these indices.
+using WorkerIndex = std::int32_t;
+
+/// A crowd worker appearing in the arrival stream.
+struct Worker {
+  /// Arrival order, 1-based. workers[i].index == i + 1 in a valid instance.
+  WorkerIndex index = 0;
+  geo::Point location;
+  /// Historical accuracy p_w in [0.66, 1] (below-threshold workers are
+  /// treated as spam and never enter an instance; paper Sec. II-A).
+  double historical_accuracy = 0.0;
+  /// Stable identity of the underlying platform user. Distinct check-ins of
+  /// one user are distinct Workers sharing user_id (Foursquare-like streams);
+  /// -1 when the notion does not apply (synthetic workloads).
+  std::int64_t user_id = -1;
+};
+
+}  // namespace model
+}  // namespace ltc
+
+#endif  // LTC_MODEL_WORKER_H_

@@ -1,0 +1,129 @@
+#include "sim/engine.h"
+
+#include <vector>
+
+#include "common/memhook.h"
+#include "common/proc.h"
+#include "common/timer.h"
+
+namespace ltc {
+namespace sim {
+
+namespace {
+
+/// Snapshots the active memory metric before a run.
+struct MemoryProbe {
+  bool hooked;
+  std::uint64_t baseline;
+
+  MemoryProbe() : hooked(memhook::Active()) {
+    if (hooked) {
+      memhook::ResetPeak();
+      baseline = memhook::CurrentBytes();
+    } else {
+      baseline = CurrentRssBytes();
+    }
+  }
+
+  std::uint64_t PeakDelta() const {
+    if (hooked) {
+      const std::uint64_t peak = memhook::PeakBytes();
+      return peak > baseline ? peak - baseline : 0;
+    }
+    const std::uint64_t now = PeakRssBytes();
+    return now > baseline ? now - baseline : 0;
+  }
+};
+
+Status ValidateResult(const model::ProblemInstance& instance,
+                      const algo::ScheduleResult& result) {
+  return model::ValidateArrangement(instance, result.arrangement,
+                                    /*require_completion=*/result.completed);
+}
+
+}  // namespace
+
+StatusOr<RunMetrics> RunOnline(const model::ProblemInstance& instance,
+                               const model::EligibilityIndex& index,
+                               algo::OnlineScheduler* scheduler,
+                               const EngineOptions& options) {
+  if (scheduler == nullptr) {
+    return Status::InvalidArgument("RunOnline: null scheduler");
+  }
+  RunMetrics metrics;
+  metrics.algorithm = scheduler->Name();
+
+  MemoryProbe probe;
+  Stopwatch watch;
+  LTC_RETURN_IF_ERROR(scheduler->Init(instance, index));
+  std::vector<model::TaskId> assigned;
+  std::int64_t workers_seen = 0;
+  for (const model::Worker& w : instance.workers) {
+    if (scheduler->Done()) break;
+    ++workers_seen;
+    LTC_RETURN_IF_ERROR(scheduler->OnArrival(w, &assigned));
+  }
+  metrics.runtime_seconds = watch.ElapsedSeconds();
+  metrics.peak_memory_bytes = probe.PeakDelta();
+
+  const model::Arrangement& arr = scheduler->arrangement();
+  metrics.completed = arr.AllCompleted();
+  metrics.latency = arr.MaxWorkerIndex();
+  metrics.stats.workers_seen = workers_seen;
+  metrics.stats.assignments = arr.size();
+  for (const model::Assignment& a : arr.assignments()) {
+    metrics.stats.total_acc_star += a.acc_star;
+  }
+  for (model::WorkerIndex w = 1; w <= arr.MaxWorkerIndex(); ++w) {
+    if (arr.Load(w) > 0) ++metrics.stats.workers_used;
+  }
+
+  if (options.validate) {
+    LTC_RETURN_IF_ERROR(model::ValidateArrangement(
+        instance, arr, /*require_completion=*/metrics.completed));
+  }
+  return metrics;
+}
+
+StatusOr<RunMetrics> RunOffline(const model::ProblemInstance& instance,
+                                const model::EligibilityIndex& index,
+                                algo::OfflineScheduler* scheduler,
+                                const EngineOptions& options) {
+  if (scheduler == nullptr) {
+    return Status::InvalidArgument("RunOffline: null scheduler");
+  }
+  RunMetrics metrics;
+  metrics.algorithm = scheduler->Name();
+
+  MemoryProbe probe;
+  Stopwatch watch;
+  LTC_ASSIGN_OR_RETURN(algo::ScheduleResult result,
+                       scheduler->Run(instance, index));
+  metrics.runtime_seconds = watch.ElapsedSeconds();
+  metrics.peak_memory_bytes = probe.PeakDelta();
+
+  metrics.completed = result.completed;
+  metrics.latency = result.latency;
+  metrics.stats = result.stats;
+  if (options.validate) {
+    LTC_RETURN_IF_ERROR(ValidateResult(instance, result));
+  }
+  return metrics;
+}
+
+StatusOr<RunMetrics> RunAlgorithm(const std::string& name,
+                                  const model::ProblemInstance& instance,
+                                  const model::EligibilityIndex& index,
+                                  const EngineOptions& options) {
+  LTC_ASSIGN_OR_RETURN(bool online, algo::IsOnlineAlgorithm(name));
+  if (online) {
+    LTC_ASSIGN_OR_RETURN(auto scheduler,
+                         algo::MakeOnlineScheduler(name, options.seed));
+    return RunOnline(instance, index, scheduler.get(), options);
+  }
+  LTC_ASSIGN_OR_RETURN(auto scheduler, algo::MakeOfflineScheduler(name));
+  return RunOffline(instance, index, scheduler.get(), options);
+}
+
+}  // namespace sim
+}  // namespace ltc

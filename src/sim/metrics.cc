@@ -1,0 +1,31 @@
+#include "sim/metrics.h"
+
+#include <cmath>
+
+namespace ltc {
+namespace sim {
+
+void AggregateMetrics::Accumulate(const RunMetrics& run) {
+  algorithm = run.algorithm;
+  ++runs;
+  if (run.completed) ++completed_runs;
+  latency_sum_ += static_cast<double>(run.latency);
+  latency_sq_sum_ +=
+      static_cast<double>(run.latency) * static_cast<double>(run.latency);
+  runtime_sum_ += run.runtime_seconds;
+  memory_sum_ += static_cast<double>(run.peak_memory_bytes);
+}
+
+void AggregateMetrics::Finalize() {
+  if (runs == 0) return;
+  const double n = static_cast<double>(runs);
+  mean_latency = latency_sum_ / n;
+  const double variance =
+      std::max(0.0, latency_sq_sum_ / n - mean_latency * mean_latency);
+  stddev_latency = std::sqrt(variance);
+  mean_runtime_seconds = runtime_sum_ / n;
+  mean_peak_memory_bytes = memory_sum_ / n;
+}
+
+}  // namespace sim
+}  // namespace ltc

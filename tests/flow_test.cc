@@ -1,0 +1,241 @@
+// Tests for the flow substrate: network representation, Dinic max-flow and
+// both min-cost max-flow solvers, with randomized cross-checks.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "flow/graph.h"
+#include "flow/max_flow.h"
+#include "flow/min_cost_flow.h"
+
+namespace ltc {
+namespace flow {
+namespace {
+
+TEST(FlowNetworkTest, AddArcValidation) {
+  FlowNetwork net(3);
+  EXPECT_TRUE(net.AddArc(0, 1, 5, 2).ok());
+  EXPECT_FALSE(net.AddArc(-1, 1, 5, 2).ok());
+  EXPECT_FALSE(net.AddArc(0, 3, 5, 2).ok());
+  EXPECT_FALSE(net.AddArc(0, 1, -1, 2).ok());
+}
+
+TEST(FlowNetworkTest, PairedArcsAndPush) {
+  FlowNetwork net(2);
+  auto arc = net.AddArc(0, 1, 10, 3);
+  ASSERT_TRUE(arc.ok());
+  const ArcId a = arc.value();
+  EXPECT_EQ(net.residual(a), 10);
+  EXPECT_EQ(net.residual(a ^ 1), 0);
+  EXPECT_EQ(net.cost(a), 3);
+  EXPECT_EQ(net.cost(a ^ 1), -3);
+  net.Push(a, 4);
+  EXPECT_EQ(net.residual(a), 6);
+  EXPECT_EQ(net.residual(a ^ 1), 4);
+  EXPECT_EQ(net.Flow(a), 4);
+  net.ResetFlow();
+  EXPECT_EQ(net.Flow(a), 0);
+  EXPECT_EQ(net.residual(a), 10);
+}
+
+TEST(FlowNetworkTest, AddNodeGrows) {
+  FlowNetwork net(1);
+  EXPECT_EQ(net.AddNode(), 1);
+  EXPECT_EQ(net.num_nodes(), 2);
+}
+
+TEST(DinicTest, ClassicTextbookInstance) {
+  // CLRS-style: max flow 23.
+  FlowNetwork net(6);
+  ASSERT_TRUE(net.AddArc(0, 1, 16, 0).ok());
+  ASSERT_TRUE(net.AddArc(0, 2, 13, 0).ok());
+  ASSERT_TRUE(net.AddArc(1, 2, 10, 0).ok());
+  ASSERT_TRUE(net.AddArc(2, 1, 4, 0).ok());
+  ASSERT_TRUE(net.AddArc(1, 3, 12, 0).ok());
+  ASSERT_TRUE(net.AddArc(3, 2, 9, 0).ok());
+  ASSERT_TRUE(net.AddArc(2, 4, 14, 0).ok());
+  ASSERT_TRUE(net.AddArc(4, 3, 7, 0).ok());
+  ASSERT_TRUE(net.AddArc(3, 5, 20, 0).ok());
+  ASSERT_TRUE(net.AddArc(4, 5, 4, 0).ok());
+  auto flow = DinicMaxFlow(&net, 0, 5);
+  ASSERT_TRUE(flow.ok());
+  EXPECT_EQ(flow.value(), 23);
+}
+
+TEST(DinicTest, DisconnectedGraphZeroFlow) {
+  FlowNetwork net(4);
+  ASSERT_TRUE(net.AddArc(0, 1, 5, 0).ok());
+  ASSERT_TRUE(net.AddArc(2, 3, 5, 0).ok());
+  auto flow = DinicMaxFlow(&net, 0, 3);
+  ASSERT_TRUE(flow.ok());
+  EXPECT_EQ(flow.value(), 0);
+}
+
+TEST(DinicTest, RejectsBadEndpoints) {
+  FlowNetwork net(2);
+  EXPECT_FALSE(DinicMaxFlow(&net, 0, 0).ok());
+  EXPECT_FALSE(DinicMaxFlow(&net, 0, 5).ok());
+}
+
+TEST(SspMcmfTest, SimpleTwoPathChoice) {
+  // Two unit paths: costs 1 and 3; pushing 1 unit must pick cost 1;
+  // pushing 2 units costs 4.
+  FlowNetwork net(4);
+  ASSERT_TRUE(net.AddArc(0, 1, 1, 1).ok());
+  ASSERT_TRUE(net.AddArc(0, 2, 1, 3).ok());
+  ASSERT_TRUE(net.AddArc(1, 3, 1, 0).ok());
+  ASSERT_TRUE(net.AddArc(2, 3, 1, 0).ok());
+  McmfOptions options;
+  options.flow_limit = 1;
+  auto r1 = SspMinCostMaxFlow(&net, 0, 3, options);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->flow, 1);
+  EXPECT_EQ(r1->cost, 1);
+  net.ResetFlow();
+  auto r2 = SspMinCostMaxFlow(&net, 0, 3);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->flow, 2);
+  EXPECT_EQ(r2->cost, 4);
+}
+
+TEST(SspMcmfTest, NegativeCostsHandled) {
+  // The LTC shape: negative worker->task costs.
+  FlowNetwork net(4);
+  ASSERT_TRUE(net.AddArc(0, 1, 2, 0).ok());
+  ASSERT_TRUE(net.AddArc(1, 2, 1, -10).ok());
+  ASSERT_TRUE(net.AddArc(1, 3, 1, -20).ok());  // direct worker->sink? no:
+  // route both to sink through 2 and 3 merged: add arcs to a sink node.
+  const NodeId sink = net.AddNode();
+  ASSERT_TRUE(net.AddArc(2, sink, 1, 0).ok());
+  ASSERT_TRUE(net.AddArc(3, sink, 1, 0).ok());
+  auto r = SspMinCostMaxFlow(&net, 0, sink);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->flow, 2);
+  EXPECT_EQ(r->cost, -30);
+}
+
+TEST(SspMcmfTest, RequiresDistinctEndpoints) {
+  FlowNetwork net(2);
+  EXPECT_FALSE(SspMinCostMaxFlow(&net, 1, 1).ok());
+  EXPECT_FALSE(SspMinCostMaxFlow(&net, 0, 9).ok());
+}
+
+TEST(SspMcmfTest, FlowLimitRespected) {
+  FlowNetwork net(2);
+  ASSERT_TRUE(net.AddArc(0, 1, 100, 1).ok());
+  McmfOptions options;
+  options.flow_limit = 7;
+  auto r = SspMinCostMaxFlow(&net, 0, 1, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->flow, 7);
+  EXPECT_EQ(r->cost, 7);
+}
+
+TEST(BellmanFordMcmfTest, MatchesSspOnTextbookInstance) {
+  auto build = [] {
+    FlowNetwork net(5);
+    EXPECT_TRUE(net.AddArc(0, 1, 4, 2).ok());
+    EXPECT_TRUE(net.AddArc(0, 2, 2, 4).ok());
+    EXPECT_TRUE(net.AddArc(1, 2, 2, 1).ok());
+    EXPECT_TRUE(net.AddArc(1, 3, 3, 5).ok());
+    EXPECT_TRUE(net.AddArc(2, 3, 4, 2).ok());
+    EXPECT_TRUE(net.AddArc(3, 4, 5, 0).ok());
+    return net;
+  };
+  FlowNetwork a = build();
+  FlowNetwork b = build();
+  auto ra = SspMinCostMaxFlow(&a, 0, 4);
+  auto rb = BellmanFordMinCostMaxFlow(&b, 0, 4);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra->flow, rb->flow);
+  EXPECT_EQ(ra->cost, rb->cost);
+}
+
+/// Verifies flow conservation and capacity constraints on every node/arc.
+void CheckFlowValid(const FlowNetwork& net, NodeId source, NodeId sink,
+                    std::int64_t expected_value) {
+  std::vector<std::int64_t> net_out(static_cast<std::size_t>(net.num_nodes()),
+                                    0);
+  for (ArcId a = 0; a < net.num_arcs(); a += 2) {
+    const std::int64_t f = net.Flow(a);
+    EXPECT_GE(f, 0) << "arc " << a;
+    EXPECT_GE(net.residual(a), 0) << "arc " << a;
+    const NodeId head = net.head(a);
+    const NodeId tail = net.head(static_cast<ArcId>(a ^ 1));
+    net_out[static_cast<std::size_t>(tail)] += f;
+    net_out[static_cast<std::size_t>(head)] -= f;
+  }
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    if (v == source) {
+      EXPECT_EQ(net_out[static_cast<std::size_t>(v)], expected_value);
+    } else if (v == sink) {
+      EXPECT_EQ(net_out[static_cast<std::size_t>(v)], -expected_value);
+    } else {
+      EXPECT_EQ(net_out[static_cast<std::size_t>(v)], 0) << "node " << v;
+    }
+  }
+}
+
+class McmfRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(McmfRandomTest, SspMatchesBellmanFordOnRandomBipartite) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  // Random LTC-shaped network: st -> workers -> tasks -> ed with negative
+  // worker->task costs.
+  const int workers = static_cast<int>(rng.UniformInt(1, 8));
+  const int tasks = static_cast<int>(rng.UniformInt(1, 6));
+  const int capacity = static_cast<int>(rng.UniformInt(1, 3));
+  auto build = [&](Rng seeded) {
+    FlowNetwork net(2 + workers + tasks);
+    for (int w = 0; w < workers; ++w) {
+      EXPECT_TRUE(net.AddArc(0, 2 + w, capacity, 0).ok());
+      for (int t = 0; t < tasks; ++t) {
+        if (seeded.Bernoulli(0.7)) {
+          EXPECT_TRUE(net.AddArc(2 + w, 2 + workers + t, 1,
+                                 -seeded.UniformInt(1, 1000))
+                          .ok());
+        }
+      }
+    }
+    for (int t = 0; t < tasks; ++t) {
+      EXPECT_TRUE(
+          net.AddArc(2 + workers + t, 1, seeded.UniformInt(1, 4), 0).ok());
+    }
+    return net;
+  };
+  const std::uint64_t arc_seed = rng.NextU64();
+  FlowNetwork a = build(Rng(arc_seed));
+  FlowNetwork b = build(Rng(arc_seed));
+  FlowNetwork c = build(Rng(arc_seed));
+
+  auto ra = SspMinCostMaxFlow(&a, 0, 1);
+  auto rb = BellmanFordMinCostMaxFlow(&b, 0, 1);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra->flow, rb->flow);
+  EXPECT_EQ(ra->cost, rb->cost);
+  CheckFlowValid(a, 0, 1, ra->flow);
+
+  // Early exit off must not change the optimum.
+  McmfOptions no_early;
+  no_early.early_exit = false;
+  auto rc = SspMinCostMaxFlow(&c, 0, 1, no_early);
+  ASSERT_TRUE(rc.ok());
+  EXPECT_EQ(rc->flow, ra->flow);
+  EXPECT_EQ(rc->cost, ra->cost);
+
+  // Max-flow value agrees with Dinic.
+  FlowNetwork d = build(Rng(arc_seed));
+  auto rd = DinicMaxFlow(&d, 0, 1);
+  ASSERT_TRUE(rd.ok());
+  EXPECT_EQ(rd.value(), ra->flow);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, McmfRandomTest, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace flow
+}  // namespace ltc

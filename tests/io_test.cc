@@ -1,0 +1,142 @@
+// Tests for workload/arrangement (de)serialisation.
+
+#include <gtest/gtest.h>
+
+#include "gen/example_paper.h"
+#include "gen/synthetic.h"
+#include "io/workload_io.h"
+#include "model/eligibility.h"
+#include "sim/engine.h"
+
+namespace ltc {
+namespace io {
+namespace {
+
+model::ProblemInstance SmallSynthetic(std::uint64_t seed = 3) {
+  gen::SyntheticConfig cfg;
+  cfg.num_tasks = 8;
+  cfg.num_workers = 50;
+  cfg.grid_side = 80.0;
+  cfg.seed = seed;
+  auto instance = gen::GenerateSynthetic(cfg);
+  instance.status().CheckOK();
+  return std::move(instance).value();
+}
+
+TEST(WorkloadIoTest, InstanceRoundTripsExactly) {
+  const model::ProblemInstance original = SmallSynthetic();
+  auto text = SerializeInstance(original);
+  ASSERT_TRUE(text.ok());
+  auto parsed = ParseInstance(text.value());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  EXPECT_EQ(parsed->num_tasks(), original.num_tasks());
+  EXPECT_EQ(parsed->num_workers(), original.num_workers());
+  EXPECT_DOUBLE_EQ(parsed->epsilon, original.epsilon);
+  EXPECT_EQ(parsed->capacity, original.capacity);
+  EXPECT_DOUBLE_EQ(parsed->acc_min, original.acc_min);
+  for (std::int64_t t = 0; t < original.num_tasks(); ++t) {
+    EXPECT_EQ(parsed->tasks[static_cast<std::size_t>(t)].location,
+              original.tasks[static_cast<std::size_t>(t)].location);
+  }
+  for (std::int64_t i = 0; i < original.num_workers(); ++i) {
+    const auto& a = parsed->workers[static_cast<std::size_t>(i)];
+    const auto& b = original.workers[static_cast<std::size_t>(i)];
+    EXPECT_EQ(a.location, b.location);
+    EXPECT_DOUBLE_EQ(a.historical_accuracy, b.historical_accuracy);
+    EXPECT_EQ(a.user_id, b.user_id);
+  }
+  // Accuracy function round-trips semantically: same Acc on every pair.
+  for (std::int64_t t = 0; t < original.num_tasks(); ++t) {
+    EXPECT_DOUBLE_EQ(parsed->Acc(1, static_cast<model::TaskId>(t)),
+                     original.Acc(1, static_cast<model::TaskId>(t)));
+  }
+}
+
+TEST(WorkloadIoTest, FileRoundTrip) {
+  const model::ProblemInstance original = SmallSynthetic(9);
+  const std::string path = "/tmp/ltc_io_test_workload.txt";
+  ASSERT_TRUE(SaveInstance(original, path).ok());
+  auto loaded = LoadInstance(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_workers(), original.num_workers());
+  // Algorithms behave identically on the loaded instance.
+  auto index_a = model::EligibilityIndex::Build(&original);
+  auto index_b = model::EligibilityIndex::Build(&loaded.value());
+  ASSERT_TRUE(index_a.ok());
+  ASSERT_TRUE(index_b.ok());
+  auto ma = sim::RunAlgorithm("LAF", original, *index_a);
+  auto mb = sim::RunAlgorithm("LAF", *loaded, *index_b);
+  ASSERT_TRUE(ma.ok());
+  ASSERT_TRUE(mb.ok());
+  EXPECT_EQ(ma->latency, mb->latency);
+}
+
+TEST(WorkloadIoTest, LoadMissingFileFails) {
+  EXPECT_TRUE(LoadInstance("/tmp/no_such_ltc_file.txt").status().IsIOError());
+}
+
+TEST(WorkloadIoTest, ParseRejectsCorruptInputs) {
+  EXPECT_TRUE(ParseInstance("").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseInstance("not a workload").status().IsInvalidArgument());
+
+  const model::ProblemInstance original = SmallSynthetic();
+  auto text = SerializeInstance(original);
+  ASSERT_TRUE(text.ok());
+  // Truncate a worker line.
+  std::string bad = text.value();
+  bad.replace(bad.rfind("w "), 3, "w x");
+  EXPECT_FALSE(ParseInstance(bad).ok());
+  // Declared counts must match.
+  std::string miscount = text.value();
+  miscount.replace(miscount.find("tasks 8"), 7, "tasks 9");
+  EXPECT_FALSE(ParseInstance(miscount).ok());
+  // Unknown record type.
+  EXPECT_FALSE(ParseInstance(std::string("# ltc-workload v1\nz 1\n")).ok());
+}
+
+TEST(WorkloadIoTest, MatrixAccuracyNotSerialisable) {
+  auto instance = gen::PaperExampleInstance(0.2);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_TRUE(SerializeInstance(*instance).status().code() ==
+              StatusCode::kNotImplemented);
+}
+
+TEST(ArrangementIoTest, RoundTripPreservesAssignments) {
+  const model::ProblemInstance instance = SmallSynthetic(11);
+  auto index = model::EligibilityIndex::Build(&instance);
+  ASSERT_TRUE(index.ok());
+  auto scheduler = algo::MakeOnlineScheduler("LAF", 1);
+  ASSERT_TRUE(scheduler.ok());
+  (*scheduler)->Init(instance, *index).CheckOK();
+  std::vector<model::TaskId> assigned;
+  for (const auto& w : instance.workers) {
+    if ((*scheduler)->Done()) break;
+    (*scheduler)->OnArrival(w, &assigned).CheckOK();
+  }
+  const model::Arrangement& original = (*scheduler)->arrangement();
+  const std::string text = SerializeArrangement(original);
+  auto parsed = ParseArrangement(instance, text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), original.size());
+  EXPECT_EQ(parsed->MaxWorkerIndex(), original.MaxWorkerIndex());
+  for (std::int64_t t = 0; t < instance.num_tasks(); ++t) {
+    EXPECT_NEAR(parsed->accumulated(static_cast<model::TaskId>(t)),
+                original.accumulated(static_cast<model::TaskId>(t)), 1e-9);
+  }
+}
+
+TEST(ArrangementIoTest, RejectsBadReferences) {
+  const model::ProblemInstance instance = SmallSynthetic();
+  EXPECT_FALSE(ParseArrangement(instance, "").ok());
+  EXPECT_FALSE(
+      ParseArrangement(instance, "# ltc-arrangement v1\na 999 0\n").ok());
+  EXPECT_FALSE(
+      ParseArrangement(instance, "# ltc-arrangement v1\na 1 999\n").ok());
+  EXPECT_FALSE(
+      ParseArrangement(instance, "# ltc-arrangement v1\nbogus\n").ok());
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace ltc

@@ -1,0 +1,363 @@
+// Tests for the model layer: accuracy functions, quality thresholds,
+// arrangements + constraint validation, eligibility queries, voting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/math_util.h"
+#include "gen/example_paper.h"
+#include "gen/synthetic.h"
+#include "model/accuracy.h"
+#include "model/arrangement.h"
+#include "model/eligibility.h"
+#include "model/problem.h"
+#include "model/quality.h"
+#include "model/voting.h"
+
+namespace ltc {
+namespace model {
+namespace {
+
+Worker MakeWorker(WorkerIndex index, double x, double y, double acc) {
+  Worker w;
+  w.index = index;
+  w.location = {x, y};
+  w.historical_accuracy = acc;
+  return w;
+}
+
+// ---- Accuracy functions ----
+
+TEST(SigmoidDistanceAccuracyTest, MatchesPaperEquationOne) {
+  SigmoidDistanceAccuracy fn(30.0);
+  const Task t{0, {0, 0}};
+  // At distance 0: Acc = p / (1 + e^-30) ~= p.
+  EXPECT_NEAR(fn.Acc(MakeWorker(1, 0, 0, 0.9), t), 0.9, 1e-9);
+  // At distance dmax: Acc = p / 2 exactly.
+  EXPECT_NEAR(fn.Acc(MakeWorker(1, 30, 0, 0.9), t), 0.45, 1e-12);
+  // Far away: Acc -> 0.
+  EXPECT_LT(fn.Acc(MakeWorker(1, 100, 0, 0.9), t), 1e-20);
+  // Monotone decreasing in distance.
+  double prev = 1.0;
+  for (double d : {0.0, 5.0, 10.0, 20.0, 29.0, 35.0}) {
+    const double acc = fn.Acc(MakeWorker(1, d, 0, 0.9), t);
+    EXPECT_LT(acc, prev);
+    prev = acc;
+  }
+}
+
+TEST(SigmoidDistanceAccuracyTest, AccStarDefinition) {
+  SigmoidDistanceAccuracy fn(30.0);
+  const Task t{0, {0, 0}};
+  const Worker w = MakeWorker(1, 0, 0, 0.96);
+  // Example 2: Acc* = (2*0.96 - 1)^2 ~= 0.85.
+  EXPECT_NEAR(fn.AccStar(w, t), Sqr(2 * fn.Acc(w, t) - 1), 1e-12);
+  EXPECT_NEAR(fn.AccStar(w, t), 0.8464, 1e-3);
+}
+
+TEST(SigmoidDistanceAccuracyTest, EligibleRadiusIsExactBoundary) {
+  SigmoidDistanceAccuracy fn(30.0);
+  const double acc_min = 0.66;
+  for (double p : {0.70, 0.82, 0.90, 0.99}) {
+    const Worker w = MakeWorker(1, 0, 0, p);
+    const auto radius = fn.EligibleRadius(w, acc_min);
+    ASSERT_TRUE(radius.has_value());
+    ASSERT_GT(*radius, 0.0);
+    const Task just_inside{0, {*radius - 1e-9, 0}};
+    const Task just_outside{0, {*radius + 1e-6, 0}};
+    EXPECT_GE(fn.Acc(w, just_inside), acc_min) << "p=" << p;
+    EXPECT_LT(fn.Acc(w, just_outside), acc_min) << "p=" << p;
+  }
+}
+
+TEST(SigmoidDistanceAccuracyTest, EligibleRadiusEmptyForWeakWorker) {
+  SigmoidDistanceAccuracy fn(30.0);
+  // Worker below the threshold can never reach it.
+  const auto radius = fn.EligibleRadius(MakeWorker(1, 0, 0, 0.5), 0.66);
+  ASSERT_TRUE(radius.has_value());
+  EXPECT_LT(*radius, 0.0);
+}
+
+TEST(MatrixAccuracyTest, LooksUpByWorkerIndexAndTaskId) {
+  auto fn = MatrixAccuracy::Create({{0.9, 0.8}, {0.7, 0.6}});
+  ASSERT_TRUE(fn.ok());
+  const Task t0{0, {0, 0}};
+  const Task t1{1, {0, 0}};
+  EXPECT_DOUBLE_EQ((*fn)->Acc(MakeWorker(1, 0, 0, 1), t0), 0.9);
+  EXPECT_DOUBLE_EQ((*fn)->Acc(MakeWorker(1, 0, 0, 1), t1), 0.8);
+  EXPECT_DOUBLE_EQ((*fn)->Acc(MakeWorker(2, 0, 0, 1), t0), 0.7);
+  // Out of range -> 0 (defensive).
+  EXPECT_DOUBLE_EQ((*fn)->Acc(MakeWorker(3, 0, 0, 1), t0), 0.0);
+}
+
+TEST(MatrixAccuracyTest, RejectsBadMatrices) {
+  EXPECT_FALSE(MatrixAccuracy::Create({}).ok());
+  EXPECT_FALSE(MatrixAccuracy::Create({{0.5}, {0.5, 0.5}}).ok());
+  EXPECT_FALSE(MatrixAccuracy::Create({{1.5}}).ok());
+  EXPECT_FALSE(MatrixAccuracy::Create({{-0.1}}).ok());
+}
+
+TEST(StepDistanceAccuracyTest, HardCutoff) {
+  StepDistanceAccuracy fn(10.0);
+  const Task t{0, {0, 0}};
+  EXPECT_DOUBLE_EQ(fn.Acc(MakeWorker(1, 9.99, 0, 0.9), t), 0.9);
+  EXPECT_DOUBLE_EQ(fn.Acc(MakeWorker(1, 10.01, 0, 0.9), t), 0.0);
+  EXPECT_DOUBLE_EQ(*fn.EligibleRadius(MakeWorker(1, 0, 0, 0.9), 0.66), 10.0);
+  EXPECT_LT(*fn.EligibleRadius(MakeWorker(1, 0, 0, 0.5), 0.66), 0.0);
+}
+
+TEST(FlatAccuracyTest, IgnoresDistance) {
+  FlatAccuracy fn;
+  const Task t{0, {1000, 1000}};
+  EXPECT_DOUBLE_EQ(fn.Acc(MakeWorker(1, 0, 0, 0.77), t), 0.77);
+  EXPECT_FALSE(fn.EligibleRadius(MakeWorker(1, 0, 0, 0.77), 0.66).has_value());
+}
+
+// ---- Quality ----
+
+TEST(QualityTest, DeltaFromEpsilon) {
+  auto d = DeltaFromEpsilon(0.2);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(d.value(), 3.2189, 1e-4);  // paper Example 2
+  EXPECT_NEAR(DeltaFromEpsilon(0.1).value(), 4.6052, 1e-4);
+  EXPECT_FALSE(DeltaFromEpsilon(0.0).ok());
+  EXPECT_FALSE(DeltaFromEpsilon(1.0).ok());
+  EXPECT_FALSE(DeltaFromEpsilon(-0.5).ok());
+}
+
+TEST(QualityTest, EpsilonDeltaRoundTrip) {
+  for (double eps : {0.06, 0.10, 0.14, 0.18, 0.22}) {
+    EXPECT_NEAR(EpsilonFromDelta(DeltaFromEpsilon(eps).value()), eps, 1e-12);
+  }
+}
+
+TEST(QualityTest, ReachedDeltaTolerance) {
+  EXPECT_TRUE(ReachedDelta(1.0, 1.0));
+  EXPECT_TRUE(ReachedDelta(1.0 - 1e-12, 1.0));  // within tolerance
+  EXPECT_FALSE(ReachedDelta(0.999, 1.0));
+}
+
+TEST(QualityTest, TheoremTwoBounds) {
+  // |T|=3, delta=3.2189, K=2 -> lower = 4.83, upper = 50.3.
+  const auto b = TheoremTwoBounds(3, 3.2189, 2);
+  EXPECT_NEAR(b.lower, 3 * 3.2189 / 2, 1e-9);
+  EXPECT_NEAR(b.upper, 10 * 3 * 3.2189 / 2 + 3.0 / 2 + 1, 1e-9);
+  EXPECT_LT(b.lower, b.upper);
+}
+
+// ---- ProblemInstance validation ----
+
+StatusOr<ProblemInstance> SmallInstance() {
+  gen::SyntheticConfig cfg;
+  cfg.num_tasks = 10;
+  cfg.num_workers = 200;
+  cfg.grid_side = 100.0;
+  cfg.seed = 3;
+  return gen::GenerateSynthetic(cfg);
+}
+
+TEST(ProblemInstanceTest, ValidatesGoodInstance) {
+  auto instance = SmallInstance();
+  ASSERT_TRUE(instance.ok());
+  EXPECT_TRUE(instance->Validate().ok());
+  EXPECT_EQ(instance->num_tasks(), 10);
+  EXPECT_EQ(instance->num_workers(), 200);
+  EXPECT_NEAR(instance->Delta(), 4.6052, 1e-4);
+  EXPECT_NE(instance->Summary().find("|T|=10"), std::string::npos);
+}
+
+TEST(ProblemInstanceTest, RejectsBadParameters) {
+  auto instance = SmallInstance();
+  ASSERT_TRUE(instance.ok());
+  ProblemInstance bad = *instance;
+  bad.epsilon = 0.0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = *instance;
+  bad.capacity = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = *instance;
+  bad.accuracy = nullptr;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = *instance;
+  bad.tasks.clear();
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = *instance;
+  bad.workers[5].index = 99;  // out of sequence
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = *instance;
+  bad.tasks[2].id = 7;  // not dense
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = *instance;
+  bad.workers[0].historical_accuracy = 1.5;
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+// ---- Arrangement ----
+
+TEST(ArrangementTest, TracksAccumulationAndCompletion) {
+  Arrangement arr(2, 1.0);
+  EXPECT_FALSE(arr.AllCompleted());
+  EXPECT_DOUBLE_EQ(arr.Remaining(0), 1.0);
+  arr.Add(1, 0, 0.6);
+  EXPECT_FALSE(arr.TaskCompleted(0));
+  EXPECT_DOUBLE_EQ(arr.Remaining(0), 0.4);
+  arr.Add(2, 0, 0.6);
+  EXPECT_TRUE(arr.TaskCompleted(0));
+  EXPECT_DOUBLE_EQ(arr.Remaining(0), 0.0);
+  EXPECT_FALSE(arr.AllCompleted());
+  arr.Add(2, 1, 1.0);
+  EXPECT_TRUE(arr.AllCompleted());
+  EXPECT_EQ(arr.MaxWorkerIndex(), 2);
+  EXPECT_EQ(arr.Load(1), 1);
+  EXPECT_EQ(arr.Load(2), 2);
+  EXPECT_EQ(arr.Load(99), 0);
+  EXPECT_EQ(arr.size(), 3);
+  EXPECT_EQ(arr.completed_tasks(), 2);
+}
+
+TEST(ArrangementTest, ZeroDeltaIsInstantlyComplete) {
+  Arrangement arr(3, 0.0);
+  EXPECT_TRUE(arr.AllCompleted());
+}
+
+TEST(ValidateArrangementTest, AcceptsValidAndCatchesViolations) {
+  auto instance_or = gen::PaperExampleInstance(0.2);
+  ASSERT_TRUE(instance_or.ok());
+  const auto& instance = instance_or.value();
+  const double delta = instance.Delta();
+
+  // Valid, completed arrangement: the paper's LAF outcome.
+  Arrangement good(3, delta);
+  const std::pair<WorkerIndex, TaskId> laf[] = {
+      {1, 1}, {1, 0}, {2, 0}, {2, 1}, {3, 0}, {3, 1},
+      {4, 0}, {4, 1}, {5, 2}, {6, 2}, {7, 2}, {8, 2}};
+  for (auto [w, t] : laf) good.Add(w, t, instance.AccStar(w, t));
+  EXPECT_TRUE(ValidateArrangement(instance, good, true).ok());
+
+  // Capacity violation: worker 1 takes 3 tasks with K = 2.
+  Arrangement over(3, delta);
+  over.Add(1, 0, instance.AccStar(1, 0));
+  over.Add(1, 1, instance.AccStar(1, 1));
+  over.Add(1, 2, instance.AccStar(1, 2));
+  EXPECT_TRUE(
+      ValidateArrangement(instance, over, false).IsFailedPrecondition());
+
+  // Duplicate pair.
+  Arrangement dup(3, delta);
+  dup.Add(1, 0, instance.AccStar(1, 0));
+  dup.Add(1, 0, instance.AccStar(1, 0));
+  EXPECT_TRUE(
+      ValidateArrangement(instance, dup, false).IsFailedPrecondition());
+
+  // Wrong Acc* recorded.
+  Arrangement wrong(3, delta);
+  wrong.Add(1, 0, 0.123);
+  EXPECT_TRUE(ValidateArrangement(instance, wrong, false).IsInternal());
+
+  // Out-of-range ids.
+  Arrangement range(3, delta);
+  range.Add(99, 0, 0.5);
+  EXPECT_TRUE(ValidateArrangement(instance, range, false).IsOutOfRange());
+
+  // Incomplete fails only when completion demanded.
+  Arrangement partial(3, delta);
+  partial.Add(1, 0, instance.AccStar(1, 0));
+  EXPECT_TRUE(ValidateArrangement(instance, partial, false).ok());
+  EXPECT_TRUE(
+      ValidateArrangement(instance, partial, true).IsFailedPrecondition());
+}
+
+// ---- EligibilityIndex ----
+
+TEST(EligibilityIndexTest, SpatialMatchesBruteForce) {
+  auto instance_or = SmallInstance();
+  ASSERT_TRUE(instance_or.ok());
+  const auto& instance = instance_or.value();
+  auto index_or = EligibilityIndex::Build(&instance);
+  ASSERT_TRUE(index_or.ok());
+  const auto& index = index_or.value();
+  EXPECT_TRUE(index.spatial());
+
+  std::vector<TaskId> got;
+  for (const Worker& w : instance.workers) {
+    index.EligibleTasks(w, &got);
+    std::vector<TaskId> expect;
+    for (const Task& t : instance.tasks) {
+      if (instance.Eligible(w.index, t.id)) expect.push_back(t.id);
+    }
+    ASSERT_EQ(got, expect) << "worker " << w.index;
+    EXPECT_EQ(index.CountEligible(w),
+              static_cast<std::int64_t>(expect.size()));
+  }
+}
+
+TEST(EligibilityIndexTest, MatrixModelFallsBackToScan) {
+  auto instance_or = gen::PaperExampleInstance(0.2);
+  ASSERT_TRUE(instance_or.ok());
+  auto index_or = EligibilityIndex::Build(&instance_or.value());
+  ASSERT_TRUE(index_or.ok());
+  EXPECT_FALSE(index_or->spatial());
+  std::vector<TaskId> got;
+  index_or->EligibleTasks(instance_or->workers[0], &got);
+  // All Table-I accuracies exceed 0.66: every task eligible for w1.
+  EXPECT_EQ(got, (std::vector<TaskId>{0, 1, 2}));
+}
+
+TEST(EligibilityIndexTest, RejectsNullAndInvalid) {
+  EXPECT_FALSE(EligibilityIndex::Build(nullptr).ok());
+  ProblemInstance bad;
+  EXPECT_FALSE(EligibilityIndex::Build(&bad).ok());
+}
+
+// ---- Voting ----
+
+TEST(VotingTest, HighAccuracyWorkersBeatEpsilon) {
+  auto instance_or = gen::PaperExampleInstance(0.2);
+  ASSERT_TRUE(instance_or.ok());
+  const auto& instance = instance_or.value();
+  Arrangement arr(3, instance.Delta());
+  const std::pair<WorkerIndex, TaskId> laf[] = {
+      {1, 1}, {1, 0}, {2, 0}, {2, 1}, {3, 0}, {3, 1},
+      {4, 0}, {4, 1}, {5, 2}, {6, 2}, {7, 2}, {8, 2}};
+  for (auto [w, t] : laf) arr.Add(w, t, instance.AccStar(w, t));
+
+  auto outcome = SimulateVoting(instance, arr, 2000, 11);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->tasks, 3);
+  EXPECT_EQ(outcome->trials, 2000);
+  // Hoeffding promises < 0.2; with 4 workers at ~0.95 accuracy the true
+  // error rate is far below it.
+  EXPECT_LT(outcome->empirical_error_rate, 0.2);
+  EXPECT_LT(outcome->max_task_error_rate, 0.2);
+}
+
+TEST(VotingTest, EmptyArrangementAndBadArgs) {
+  auto instance_or = gen::PaperExampleInstance(0.2);
+  ASSERT_TRUE(instance_or.ok());
+  Arrangement empty(3, instance_or->Delta());
+  auto outcome = SimulateVoting(*instance_or, empty, 10, 1);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->tasks, 0);
+  EXPECT_DOUBLE_EQ(outcome->empirical_error_rate, 0.0);
+  EXPECT_FALSE(SimulateVoting(*instance_or, empty, 0, 1).ok());
+}
+
+TEST(VotingTest, DeterministicForSeed) {
+  auto instance_or = gen::PaperExampleInstance(0.2);
+  ASSERT_TRUE(instance_or.ok());
+  const auto& instance = instance_or.value();
+  Arrangement arr(3, instance.Delta());
+  arr.Add(1, 0, instance.AccStar(1, 0));
+  arr.Add(2, 0, instance.AccStar(2, 0));
+  auto a = SimulateVoting(instance, arr, 500, 99);
+  auto b = SimulateVoting(instance, arr, 500, 99);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->errors, b->errors);
+}
+
+}  // namespace
+}  // namespace model
+}  // namespace ltc

@@ -1,0 +1,156 @@
+// Contract tests for the OnlineScheduler protocol, run against every online
+// algorithm in the registry: initialisation discipline, per-arrival capacity,
+// irrevocability, termination behaviour, and re-initialisation.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/registry.h"
+#include "gen/synthetic.h"
+#include "model/eligibility.h"
+
+namespace ltc {
+namespace algo {
+namespace {
+
+const char* kOnlineAlgorithms[] = {"LAF", "AAM", "Random", "LGF-only",
+                                   "LRF-only"};
+
+struct Built {
+  model::ProblemInstance instance;
+  std::unique_ptr<model::EligibilityIndex> index;
+};
+
+Built BuildSmall(std::uint64_t seed = 4) {
+  gen::SyntheticConfig cfg;
+  cfg.num_tasks = 10;
+  cfg.num_workers = 600;
+  cfg.grid_side = 100.0;
+  cfg.capacity = 3;
+  cfg.seed = seed;
+  auto instance = gen::GenerateSynthetic(cfg);
+  instance.status().CheckOK();
+  Built b{std::move(instance).value(), nullptr};
+  auto index = model::EligibilityIndex::Build(&b.instance);
+  index.status().CheckOK();
+  b.index =
+      std::make_unique<model::EligibilityIndex>(std::move(index).value());
+  return b;
+}
+
+class OnlineContractTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(OnlineContractTest, OnArrivalBeforeInitFails) {
+  auto scheduler = MakeOnlineScheduler(GetParam(), 1);
+  ASSERT_TRUE(scheduler.ok());
+  Built b = BuildSmall();
+  std::vector<model::TaskId> assigned;
+  EXPECT_TRUE((*scheduler)
+                  ->OnArrival(b.instance.workers[0], &assigned)
+                  .IsFailedPrecondition());
+}
+
+TEST_P(OnlineContractTest, InitRejectsMismatchedIndex) {
+  Built a = BuildSmall(1);
+  Built b = BuildSmall(2);
+  auto scheduler = MakeOnlineScheduler(GetParam(), 1);
+  ASSERT_TRUE(scheduler.ok());
+  EXPECT_TRUE(
+      (*scheduler)->Init(a.instance, *b.index).IsInvalidArgument());
+}
+
+TEST_P(OnlineContractTest, PerArrivalCapacityRespected) {
+  Built b = BuildSmall();
+  auto scheduler = MakeOnlineScheduler(GetParam(), 1);
+  ASSERT_TRUE(scheduler.ok());
+  (*scheduler)->Init(b.instance, *b.index).CheckOK();
+  std::vector<model::TaskId> assigned;
+  for (const auto& w : b.instance.workers) {
+    if ((*scheduler)->Done()) break;
+    (*scheduler)->OnArrival(w, &assigned).CheckOK();
+    EXPECT_LE(static_cast<std::int64_t>(assigned.size()),
+              static_cast<std::int64_t>(b.instance.capacity))
+        << GetParam();
+    // No duplicate tasks within one arrival.
+    std::vector<model::TaskId> sorted = assigned;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                sorted.end())
+        << GetParam();
+  }
+}
+
+TEST_P(OnlineContractTest, ArrangementIsAppendOnly) {
+  Built b = BuildSmall();
+  auto scheduler = MakeOnlineScheduler(GetParam(), 1);
+  ASSERT_TRUE(scheduler.ok());
+  (*scheduler)->Init(b.instance, *b.index).CheckOK();
+  std::vector<model::TaskId> assigned;
+  std::int64_t last_size = 0;
+  model::WorkerIndex last_max = 0;
+  for (const auto& w : b.instance.workers) {
+    if ((*scheduler)->Done()) break;
+    (*scheduler)->OnArrival(w, &assigned).CheckOK();
+    const auto& arr = (*scheduler)->arrangement();
+    EXPECT_GE(arr.size(), last_size) << GetParam();
+    EXPECT_GE(arr.MaxWorkerIndex(), last_max) << GetParam();
+    // Newly appended assignments all belong to the current worker.
+    for (std::int64_t i = last_size; i < arr.size(); ++i) {
+      EXPECT_EQ(arr.assignments()[static_cast<std::size_t>(i)].worker,
+                w.index)
+          << GetParam();
+    }
+    last_size = arr.size();
+    last_max = arr.MaxWorkerIndex();
+  }
+}
+
+TEST_P(OnlineContractTest, NoAssignmentsAfterDone) {
+  Built b = BuildSmall();
+  auto scheduler = MakeOnlineScheduler(GetParam(), 1);
+  ASSERT_TRUE(scheduler.ok());
+  (*scheduler)->Init(b.instance, *b.index).CheckOK();
+  std::vector<model::TaskId> assigned;
+  std::size_t i = 0;
+  for (; i < b.instance.workers.size(); ++i) {
+    if ((*scheduler)->Done()) break;
+    (*scheduler)->OnArrival(b.instance.workers[i], &assigned).CheckOK();
+  }
+  if (!(*scheduler)->Done()) GTEST_SKIP() << "stream exhausted first";
+  const std::int64_t size_at_done = (*scheduler)->arrangement().size();
+  // Feeding more workers after completion must be a no-op.
+  for (std::size_t extra = i; extra < b.instance.workers.size() && extra < i + 5;
+       ++extra) {
+    (*scheduler)->OnArrival(b.instance.workers[extra], &assigned).CheckOK();
+    EXPECT_TRUE(assigned.empty()) << GetParam();
+  }
+  EXPECT_EQ((*scheduler)->arrangement().size(), size_at_done) << GetParam();
+}
+
+TEST_P(OnlineContractTest, ReInitResetsState) {
+  Built b = BuildSmall();
+  auto scheduler = MakeOnlineScheduler(GetParam(), 1);
+  ASSERT_TRUE(scheduler.ok());
+  auto run_once = [&]() {
+    (*scheduler)->Init(b.instance, *b.index).CheckOK();
+    std::vector<model::TaskId> assigned;
+    for (const auto& w : b.instance.workers) {
+      if ((*scheduler)->Done()) break;
+      (*scheduler)->OnArrival(w, &assigned).CheckOK();
+    }
+    return (*scheduler)->arrangement().MaxWorkerIndex();
+  };
+  const auto first = run_once();
+  const auto second = run_once();
+  EXPECT_EQ(first, second) << GetParam() << " must reset on Init";
+}
+
+INSTANTIATE_TEST_SUITE_P(Roster, OnlineContractTest,
+                         ::testing::ValuesIn(kOnlineAlgorithms));
+
+}  // namespace
+}  // namespace algo
+}  // namespace ltc

@@ -1,0 +1,131 @@
+// Empirical approximation/competitive-ratio checks against the exhaustive
+// optimum on randomized tiny instances.
+//
+// The paper proves MCF-LTC is a 7.5-approximation (Theorem 3) and
+// LAF / AAM are 7.967- / 7.738-competitive (Theorems 5-6) under the
+// assumption eps <= e^-1.5. Those are worst-case bounds over adversarial
+// inputs; on random instances the observed ratios should sit far below
+// them. These tests (a) never find an algorithm beating the optimum, and
+// (b) flag any instance whose ratio exceeds the paper's guarantee — either
+// event would indicate an implementation bug.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "algo/exhaustive.h"
+#include "algo/registry.h"
+#include "common/random.h"
+#include "gen/synthetic.h"
+#include "model/accuracy.h"
+#include "model/eligibility.h"
+#include "sim/engine.h"
+
+namespace ltc {
+namespace {
+
+struct Built {
+  model::ProblemInstance instance;
+  std::unique_ptr<model::EligibilityIndex> index;
+};
+
+/// Random tiny matrix-accuracy instance (exhaustive-searchable).
+Built RandomTinyInstance(std::uint64_t seed) {
+  Rng rng(seed);
+  const auto tasks = static_cast<model::TaskId>(rng.UniformInt(2, 3));
+  const auto workers = static_cast<model::WorkerIndex>(rng.UniformInt(6, 10));
+  model::ProblemInstance instance;
+  // eps <= e^-1.5 ~= 0.223 is the regime of the paper's ratio theorems.
+  instance.epsilon = rng.Uniform(0.15, 0.223);
+  instance.capacity = static_cast<std::int32_t>(rng.UniformInt(1, 2));
+  instance.acc_min = 0.66;
+  std::vector<std::vector<double>> matrix(
+      static_cast<std::size_t>(workers),
+      std::vector<double>(static_cast<std::size_t>(tasks), 0.0));
+  for (auto& row : matrix) {
+    for (auto& acc : row) {
+      // Mostly eligible pairs, a few spam-ineligible ones.
+      acc = rng.Bernoulli(0.85) ? rng.Uniform(0.70, 0.99) : 0.3;
+    }
+  }
+  auto fn = model::MatrixAccuracy::Create(std::move(matrix));
+  fn.status().CheckOK();
+  instance.accuracy = fn.value();
+  for (model::TaskId t = 0; t < tasks; ++t) {
+    instance.tasks.push_back(model::Task{t, {static_cast<double>(t), 0.0}});
+  }
+  for (model::WorkerIndex w = 1; w <= workers; ++w) {
+    model::Worker worker;
+    worker.index = w;
+    worker.location = {static_cast<double>(w), 1.0};
+    worker.historical_accuracy = 0.9;
+    instance.workers.push_back(worker);
+  }
+  instance.Validate().CheckOK();
+  Built b{std::move(instance), nullptr};
+  auto index = model::EligibilityIndex::Build(&b.instance);
+  index.status().CheckOK();
+  b.index =
+      std::make_unique<model::EligibilityIndex>(std::move(index).value());
+  return b;
+}
+
+class RatioTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RatioTest, ObservedRatiosStayWithinPaperGuarantees) {
+  Built b = RandomTinyInstance(static_cast<std::uint64_t>(GetParam()) + 9000);
+  algo::Exhaustive exhaustive;
+  auto optimal = exhaustive.Run(b.instance, *b.index);
+  ASSERT_TRUE(optimal.ok()) << optimal.status().ToString();
+  if (!optimal->completed) {
+    // Infeasible: no algorithm may claim completion.
+    for (const auto& name : algo::StandardAlgorithms()) {
+      auto metrics = sim::RunAlgorithm(name, b.instance, *b.index);
+      ASSERT_TRUE(metrics.ok()) << name;
+      EXPECT_FALSE(metrics->completed) << name;
+    }
+    return;
+  }
+  ASSERT_GT(optimal->latency, 0);
+
+  struct Guarantee {
+    const char* name;
+    double ratio;
+  };
+  // Theorems 3/5/6; Random and Base-off carry no guarantee — checked only
+  // against optimality from below.
+  const Guarantee guarantees[] = {
+      {"MCF-LTC", 7.5}, {"LAF", 7.967}, {"AAM", 7.738}};
+  for (const auto& [name, ratio] : guarantees) {
+    auto metrics = sim::RunAlgorithm(name, b.instance, *b.index);
+    ASSERT_TRUE(metrics.ok()) << name;
+    if (!metrics->completed) {
+      // A greedy can strand the tail of a *tight* stream (cf. the Theorem-4
+      // adversarial test); the ratio guarantees assume worker supply beyond
+      // the optimum prefix, which tiny instances may lack.
+      continue;
+    }
+    EXPECT_GE(metrics->latency, optimal->latency) << name;
+    // The theorems bound the ratio asymptotically (plus additive slack
+    // |T|/K + 1); on these tiny instances allow the additive term.
+    const double slack =
+        static_cast<double>(b.instance.num_tasks()) /
+            static_cast<double>(b.instance.capacity) +
+        1.0;
+    EXPECT_LE(static_cast<double>(metrics->latency),
+              ratio * static_cast<double>(optimal->latency) + slack)
+        << name << " exceeded its guarantee on " << b.instance.Summary();
+  }
+  for (const char* name : {"Base-off", "Random"}) {
+    auto metrics = sim::RunAlgorithm(name, b.instance, *b.index);
+    ASSERT_TRUE(metrics.ok()) << name;
+    if (metrics->completed) {
+      EXPECT_GE(metrics->latency, optimal->latency) << name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RatioTest, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace ltc

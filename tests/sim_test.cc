@@ -1,0 +1,145 @@
+// Tests for the simulation engine and metrics aggregation.
+
+#include <gtest/gtest.h>
+
+#include "algo/laf.h"
+#include "algo/registry.h"
+#include "gen/example_paper.h"
+#include "gen/synthetic.h"
+#include "model/eligibility.h"
+#include "sim/engine.h"
+#include "sim/metrics.h"
+
+namespace ltc {
+namespace sim {
+namespace {
+
+struct Fixture {
+  model::ProblemInstance instance;
+  std::unique_ptr<model::EligibilityIndex> index;
+};
+
+Fixture SyntheticFixture(std::uint64_t seed = 5) {
+  gen::SyntheticConfig cfg;
+  cfg.num_tasks = 20;
+  cfg.num_workers = 2000;
+  cfg.grid_side = 150.0;  // dense enough to complete
+  cfg.capacity = 4;
+  cfg.seed = seed;
+  auto instance = gen::GenerateSynthetic(cfg);
+  instance.status().CheckOK();
+  Fixture f{std::move(instance).value(), nullptr};
+  auto index = model::EligibilityIndex::Build(&f.instance);
+  index.status().CheckOK();
+  f.index =
+      std::make_unique<model::EligibilityIndex>(std::move(index).value());
+  return f;
+}
+
+TEST(EngineTest, RunsEveryStandardAlgorithm) {
+  Fixture f = SyntheticFixture();
+  for (const auto& name : algo::StandardAlgorithms()) {
+    auto metrics = RunAlgorithm(name, f.instance, *f.index);
+    ASSERT_TRUE(metrics.ok()) << name << ": " << metrics.status().ToString();
+    EXPECT_EQ(metrics->algorithm, name);
+    EXPECT_TRUE(metrics->completed) << name;
+    EXPECT_GT(metrics->latency, 0) << name;
+    EXPECT_LE(metrics->latency, f.instance.num_workers()) << name;
+    EXPECT_GE(metrics->runtime_seconds, 0.0) << name;
+    EXPECT_GT(metrics->stats.assignments, 0) << name;
+    EXPECT_GT(metrics->stats.workers_used, 0) << name;
+  }
+}
+
+TEST(EngineTest, OnlineStopsAtCompletion) {
+  Fixture f = SyntheticFixture();
+  algo::Laf laf;
+  auto metrics = RunOnline(f.instance, *f.index, &laf);
+  ASSERT_TRUE(metrics.ok());
+  // The engine must not keep feeding workers after Done().
+  EXPECT_LE(metrics->stats.workers_seen, f.instance.num_workers());
+  EXPECT_EQ(metrics->latency, laf.arrangement().MaxWorkerIndex());
+  // Latency counts the last *recruited* worker, so it is at most the number
+  // of arrivals examined.
+  EXPECT_LE(metrics->latency, metrics->stats.workers_seen);
+}
+
+TEST(EngineTest, NullSchedulerRejected) {
+  Fixture f = SyntheticFixture();
+  EXPECT_FALSE(RunOnline(f.instance, *f.index, nullptr).ok());
+  EXPECT_FALSE(RunOffline(f.instance, *f.index, nullptr).ok());
+}
+
+TEST(EngineTest, UnknownAlgorithmRejected) {
+  Fixture f = SyntheticFixture();
+  EXPECT_TRUE(
+      RunAlgorithm("Nope", f.instance, *f.index).status().IsNotFound());
+}
+
+TEST(EngineTest, IncompleteStreamReportedNotErrored) {
+  // Too few workers to ever finish: engine reports completed=false.
+  gen::SyntheticConfig cfg;
+  cfg.num_tasks = 50;
+  cfg.num_workers = 3;
+  cfg.grid_side = 1000.0;
+  auto instance = gen::GenerateSynthetic(cfg);
+  ASSERT_TRUE(instance.ok());
+  auto index = model::EligibilityIndex::Build(&instance.value());
+  ASSERT_TRUE(index.ok());
+  for (const auto& name : algo::StandardAlgorithms()) {
+    auto metrics = RunAlgorithm(name, *instance, *index);
+    ASSERT_TRUE(metrics.ok()) << name << ": " << metrics.status().ToString();
+    EXPECT_FALSE(metrics->completed) << name;
+  }
+}
+
+TEST(EngineTest, SeedChangesRandomOnly) {
+  Fixture f = SyntheticFixture();
+  EngineOptions a;
+  a.seed = 1;
+  EngineOptions b;
+  b.seed = 2;
+  auto laf_a = RunAlgorithm("LAF", f.instance, *f.index, a);
+  auto laf_b = RunAlgorithm("LAF", f.instance, *f.index, b);
+  ASSERT_TRUE(laf_a.ok());
+  ASSERT_TRUE(laf_b.ok());
+  EXPECT_EQ(laf_a->latency, laf_b->latency);  // LAF is deterministic
+  auto rnd_a1 = RunAlgorithm("Random", f.instance, *f.index, a);
+  auto rnd_a2 = RunAlgorithm("Random", f.instance, *f.index, a);
+  ASSERT_TRUE(rnd_a1.ok());
+  ASSERT_TRUE(rnd_a2.ok());
+  EXPECT_EQ(rnd_a1->latency, rnd_a2->latency);  // same seed, same outcome
+}
+
+TEST(AggregateMetricsTest, MeanAndStddev) {
+  AggregateMetrics agg;
+  RunMetrics m;
+  m.algorithm = "X";
+  m.completed = true;
+  m.latency = 10;
+  m.runtime_seconds = 1.0;
+  m.peak_memory_bytes = 100;
+  agg.Accumulate(m);
+  m.latency = 20;
+  m.runtime_seconds = 3.0;
+  m.peak_memory_bytes = 300;
+  agg.Accumulate(m);
+  agg.Finalize();
+  EXPECT_EQ(agg.runs, 2);
+  EXPECT_EQ(agg.completed_runs, 2);
+  EXPECT_DOUBLE_EQ(agg.mean_latency, 15.0);
+  EXPECT_DOUBLE_EQ(agg.stddev_latency, 5.0);
+  EXPECT_DOUBLE_EQ(agg.mean_runtime_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(agg.mean_peak_memory_bytes, 200.0);
+}
+
+TEST(AggregateMetricsTest, EmptyFinalizeIsSafe) {
+  AggregateMetrics agg;
+  agg.Finalize();
+  EXPECT_EQ(agg.runs, 0);
+  EXPECT_DOUBLE_EQ(agg.mean_latency, 0.0);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace ltc
