@@ -1,0 +1,58 @@
+// Build/link smoke test: every algorithm the registry advertises must be
+// constructible and must solve the tiny paper example end-to-end through the
+// simulation engine. This guards the link graph — if a layer library drops
+// out of the CMake dependency chain, instantiation or the run fails here
+// before any figure-level test notices.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "algo/registry.h"
+#include "algo/scheduler.h"
+#include "gen/example_paper.h"
+#include "model/eligibility.h"
+#include "model/problem.h"
+#include "sim/engine.h"
+#include "sim/metrics.h"
+
+namespace ltc {
+namespace {
+
+TEST(BuildSmokeTest, StandardRosterIsRegistered) {
+  const std::vector<std::string> roster = algo::StandardAlgorithms();
+  ASSERT_FALSE(roster.empty());
+  for (const std::string& name : roster) {
+    auto online = algo::IsOnlineAlgorithm(name);
+    ASSERT_TRUE(online.ok()) << name;
+    if (*online) {
+      auto scheduler = algo::MakeOnlineScheduler(name, /*seed=*/1);
+      ASSERT_TRUE(scheduler.ok()) << name;
+      EXPECT_EQ((*scheduler)->Name(), name);
+    } else {
+      auto scheduler = algo::MakeOfflineScheduler(name);
+      ASSERT_TRUE(scheduler.ok()) << name;
+      EXPECT_EQ((*scheduler)->Name(), name);
+    }
+  }
+}
+
+TEST(BuildSmokeTest, EveryStandardAlgorithmSolvesThePaperExample) {
+  auto instance = gen::PaperExampleInstance();
+  ASSERT_TRUE(instance.ok());
+  auto index = model::EligibilityIndex::Build(&*instance);
+  ASSERT_TRUE(index.ok());
+
+  for (const std::string& name : algo::StandardAlgorithms()) {
+    auto metrics = sim::RunAlgorithm(name, *instance, *index);
+    ASSERT_TRUE(metrics.ok()) << name;
+    EXPECT_TRUE(metrics->completed) << name;
+    EXPECT_GT(metrics->latency, 0) << name;
+    EXPECT_LE(metrics->latency, instance->num_workers()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace ltc
