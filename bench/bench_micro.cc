@@ -29,26 +29,28 @@ using ltc::Rng;
 ltc::flow::FlowNetwork BuildBipartite(int workers, int tasks, int degree,
                                       std::uint64_t seed) {
   Rng rng(seed);
-  ltc::flow::FlowNetwork net(
+  ltc::flow::FlowNetworkBuilder b(
       static_cast<ltc::flow::NodeId>(2 + workers + tasks));
   for (int w = 0; w < workers; ++w) {
-    net.AddArc(0, static_cast<ltc::flow::NodeId>(2 + w), 6, 0)
+    b.AddArc(0, static_cast<ltc::flow::NodeId>(2 + w), 6, 0)
         .status()
         .CheckOK();
     for (int d = 0; d < degree; ++d) {
       const auto t = static_cast<int>(rng.UniformInt(0, tasks - 1));
-      net.AddArc(static_cast<ltc::flow::NodeId>(2 + w),
-                 static_cast<ltc::flow::NodeId>(2 + workers + t), 1,
-                 -rng.UniformInt(100000, 1000000))
+      b.AddArc(static_cast<ltc::flow::NodeId>(2 + w),
+               static_cast<ltc::flow::NodeId>(2 + workers + t), 1,
+               -rng.UniformInt(100000, 1000000))
           .status()
           .CheckOK();
     }
   }
   for (int t = 0; t < tasks; ++t) {
-    net.AddArc(static_cast<ltc::flow::NodeId>(2 + workers + t), 1, 5, 0)
+    b.AddArc(static_cast<ltc::flow::NodeId>(2 + workers + t), 1, 5, 0)
         .status()
         .CheckOK();
   }
+  ltc::flow::FlowNetwork net;
+  b.Build(&net);
   return net;
 }
 

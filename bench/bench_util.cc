@@ -6,6 +6,7 @@
 #include <map>
 
 #include "algo/registry.h"
+#include "common/file_util.h"
 #include "common/flags.h"
 #include "common/string_util.h"
 #include "common/table.h"
@@ -27,6 +28,32 @@ Flag<std::int64_t> FLAG_seed("seed", 1, "base RNG seed");
 Flag<std::string> FLAG_out_dir("out_dir", "results", "CSV output directory");
 Flag<std::string> FLAG_skip("skip", "",
                             "comma-separated algorithm names to skip");
+Flag<std::string> FLAG_cases("cases", "",
+                             "comma-separated case labels to run (all when "
+                             "empty)");
+Flag<std::string> FLAG_json("json", "",
+                            "write a machine-readable JSON summary here");
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -61,6 +88,12 @@ StatusOr<BenchOptions> ParseBenchFlags(int argc, char** argv) {
       options.skip.push_back(Trim(name));
     }
   }
+  if (!FLAG_cases.Get().empty()) {
+    for (auto& label : Split(FLAG_cases.Get(), ',')) {
+      options.case_filter.push_back(Trim(label));
+    }
+  }
+  options.json_path = FLAG_json.Get();
   if (options.reps <= 0) {
     return Status::InvalidArgument("--reps must be positive");
   }
@@ -88,6 +121,17 @@ Status RunFigureBenchWithAlgorithms(const std::string& figure,
   if (roster.empty()) {
     return Status::InvalidArgument("all algorithms skipped");
   }
+  std::vector<BenchCase> selected;
+  for (const auto& bench_case : cases) {
+    bool keep = options.case_filter.empty();
+    for (const auto& label : options.case_filter) {
+      keep |= (label == bench_case.label);
+    }
+    if (keep) selected.push_back(bench_case);
+  }
+  if (selected.empty()) {
+    return Status::InvalidArgument("--cases matched no case label");
+  }
 
   std::vector<std::string> header = {factor};
   header.insert(header.end(), roster.begin(), roster.end());
@@ -100,7 +144,19 @@ Status RunFigureBenchWithAlgorithms(const std::string& figure,
               static_cast<long long>(options.reps),
               options.paper_scale ? "paper" : "1/10");
   Stopwatch total_watch;
-  for (const auto& bench_case : cases) {
+  // paper_scale is the only scale fact the harness knows reliably: each
+  // bench binary picks its own sub-paper factor (e.g. fig4_scalability uses
+  // 1/50 where most figures use 1/10), so a fraction here would lie.
+  std::string json = StrFormat(
+      "{\n  \"figure\": \"%s\",\n  \"factor\": \"%s\",\n"
+      "  \"paper_scale\": %s,\n  \"reps\": %lld,\n  \"seed\": %llu,\n"
+      "  \"cases\": [\n",
+      JsonEscape(figure).c_str(), JsonEscape(factor).c_str(),
+      options.paper_scale ? "true" : "false",
+      static_cast<long long>(options.reps),
+      static_cast<unsigned long long>(options.seed));
+  bool first_case = true;
+  for (const auto& bench_case : selected) {
     std::map<std::string, sim::AggregateMetrics> agg;
     for (std::int64_t rep = 0; rep < options.reps; ++rep) {
       const std::uint64_t seed =
@@ -122,6 +178,11 @@ Status RunFigureBenchWithAlgorithms(const std::string& figure,
     std::vector<std::string> runtime_row = {bench_case.label};
     std::vector<std::string> memory_row = {bench_case.label};
     std::vector<std::string> completion_row = {bench_case.label};
+    json += StrFormat("%s    {\"label\": \"%s\", \"algorithms\": [\n",
+                      first_case ? "" : ",\n",
+                      JsonEscape(bench_case.label).c_str());
+    first_case = false;
+    bool first_algo = true;
     for (const auto& name : roster) {
       auto& a = agg[name];
       a.Finalize();
@@ -132,7 +193,18 @@ Status RunFigureBenchWithAlgorithms(const std::string& figure,
       completion_row.push_back(
           StrFormat("%lld/%lld", static_cast<long long>(a.completed_runs),
                     static_cast<long long>(a.runs)));
+      json += StrFormat(
+          "%s      {\"name\": \"%s\", \"mean_latency\": %.3f, "
+          "\"mean_runtime_seconds\": %.6f, \"mean_peak_memory_mib\": %.3f, "
+          "\"completed_runs\": %lld, \"runs\": %lld}",
+          first_algo ? "" : ",\n", JsonEscape(name).c_str(), a.mean_latency,
+          a.mean_runtime_seconds,
+          a.mean_peak_memory_bytes / (1024.0 * 1024.0),
+          static_cast<long long>(a.completed_runs),
+          static_cast<long long>(a.runs));
+      first_algo = false;
     }
+    json += "\n    ]}";
     latency_table.AddRow(latency_row);
     runtime_table.AddRow(runtime_row);
     memory_table.AddRow(memory_row);
@@ -156,6 +228,11 @@ Status RunFigureBenchWithAlgorithms(const std::string& figure,
       runtime_table.WriteCsv(options.out_dir + "/" + figure + "_runtime.csv"));
   LTC_RETURN_IF_ERROR(
       memory_table.WriteCsv(options.out_dir + "/" + figure + "_memory.csv"));
+  if (!options.json_path.empty()) {
+    json += "\n  ]\n}\n";
+    LTC_RETURN_IF_ERROR(WriteTextFile(options.json_path, json));
+    std::printf("JSON summary written to %s\n", options.json_path.c_str());
+  }
   return Status::OK();
 }
 

@@ -15,6 +15,8 @@
 //   --out_dir=D  CSV output directory (default: results)
 //   --skip=A,B   comma-separated algorithms to skip (e.g. MCF-LTC at the
 //                largest scalability points)
+//   --cases=L,M  only run the listed case labels (CI smoke / quick A-B runs)
+//   --json=FILE  also emit a machine-readable JSON summary (BENCH_*.json)
 
 #ifndef LTC_BENCH_BENCH_UTIL_H_
 #define LTC_BENCH_BENCH_UTIL_H_
@@ -47,6 +49,13 @@ struct BenchOptions {
   std::string out_dir = "results";
   std::vector<std::string> skip;  // algorithm names to skip
   bool paper_scale = false;
+  /// When non-empty, only run cases whose label is listed (--cases=a,b).
+  std::vector<std::string> case_filter;
+  /// When non-empty, write a machine-readable JSON summary of the run —
+  /// per case and algorithm: mean latency, runtime (s), peak memory (MiB),
+  /// completed/total runs — to this path (--json=FILE). This is the format
+  /// of the checked-in BENCH_*.json perf baselines.
+  std::string json_path;
 };
 
 /// Parses the common bench flags (call from main before building cases).

@@ -104,7 +104,7 @@ StatusOr<ScheduleResult> Exhaustive::Run(
       static_cast<std::size_t>(instance.num_workers()));
   std::vector<double> top_k_value(eligible.size(), 0.0);
   for (std::size_t i = 0; i < eligible.size(); ++i) {
-    index.EligibleTasks(instance.workers[i], &eligible[i]);
+    index.EligibleTasksSorted(instance.workers[i], &eligible[i]);
     std::vector<double> values;
     values.reserve(eligible[i].size());
     for (model::TaskId t : eligible[i]) {

@@ -19,12 +19,6 @@ namespace {
 /// cost domain of the flow solver.
 constexpr std::int64_t kCostScale = 1'000'000;
 
-/// One batch's bookkeeping: which (worker, task) pairs the flow chose.
-struct BatchAssignment {
-  std::size_t worker_pos;  // position within the batch
-  model::TaskId task;
-};
-
 }  // namespace
 
 StatusOr<ScheduleResult> McfLtc::Run(const model::ProblemInstance& instance,
@@ -49,8 +43,27 @@ StatusOr<ScheduleResult> McfLtc::Run(const model::ProblemInstance& instance,
       static_cast<std::int64_t>(std::floor(m_real *
                                            options_.first_batch_factor)));
 
+  // ---- Batch-recycled state (allocations only on the high-water mark). ----
+  // The flow network, its builder, and the solver workspace persist across
+  // batches; so do the flat per-pair arrays below, where each batch stores
+  // one Acc* evaluation per eligible (worker, open task) pair and reuses it
+  // for arc costs, flow extraction, stats, and the greedy top-up. Worker
+  // p's pairs occupy [pair_begin[p], pair_begin[p+1]).
+  flow::FlowNetworkBuilder builder;
+  flow::FlowNetwork net;
+  flow::McmfWorkspace workspace;
   std::vector<model::TaskId> eligible;
-  std::vector<std::vector<model::TaskId>> batch_eligible;
+  std::vector<model::TaskId> open_tasks;
+  std::vector<flow::NodeId> task_node(
+      static_cast<std::size_t>(instance.num_tasks()), -1);
+  std::vector<std::size_t> pair_begin;
+  std::vector<model::TaskId> pair_task;
+  std::vector<double> pair_acc;
+  std::vector<flow::ArcId> pair_arc;
+  std::vector<char> pair_assigned;
+  std::vector<std::int32_t> batch_load;
+  BoundedTopK top_up(0);
+
   std::int64_t pos = 0;  // next unconsumed worker (0-based)
   bool first = true;
 
@@ -64,16 +77,18 @@ StatusOr<ScheduleResult> McfLtc::Run(const model::ProblemInstance& instance,
     result.stats.workers_seen = pos;
 
     // ---- Lines 5-6: build the flow network over (batch, open tasks). ----
-    std::vector<model::TaskId> open_tasks;
-    std::vector<flow::NodeId> task_node(
-        static_cast<std::size_t>(instance.num_tasks()), -1);
+    // Open tasks only ever shrink, so clearing the previous batch's
+    // task_node entries covers every set slot.
+    for (const model::TaskId t : open_tasks) {
+      task_node[static_cast<std::size_t>(t)] = -1;
+    }
+    open_tasks.clear();
     for (model::TaskId t = 0; t < instance.num_tasks(); ++t) {
       if (!result.arrangement.TaskCompleted(t)) open_tasks.push_back(t);
     }
     const flow::NodeId st = 0;
     const flow::NodeId ed = 1;
-    flow::FlowNetwork net(static_cast<flow::NodeId>(2 + nb +
-                                                    open_tasks.size()));
+    builder.Reset(static_cast<flow::NodeId>(2 + nb + open_tasks.size()));
     for (std::size_t i = 0; i < open_tasks.size(); ++i) {
       task_node[static_cast<std::size_t>(open_tasks[i])] =
           static_cast<flow::NodeId>(2 + nb + i);
@@ -81,13 +96,19 @@ StatusOr<ScheduleResult> McfLtc::Run(const model::ProblemInstance& instance,
 
     // Worker arcs. Arc costs: -Acc* (scaled); optionally plus an arrival-
     // position epsilon that is strictly smaller than one Acc* quantum, so it
-    // only breaks ties.
+    // only breaks ties. Acc* is evaluated exactly once per eligible pair
+    // here; every later phase reads pair_acc.
     const std::int64_t tie_scale =
         options_.index_tie_break ? static_cast<std::int64_t>(nb) + 1 : 1;
-    batch_eligible.assign(nb, {});
+    pair_begin.assign(nb + 1, 0);
+    pair_task.clear();
+    pair_acc.clear();
+    pair_arc.clear();
+    std::int64_t min_arc_cost = 0;
     for (std::size_t p = 0; p < nb; ++p) {
+      pair_begin[p] = pair_task.size();
       const model::Worker& w = instance.workers[batch_begin + p];
-      index.EligibleTasks(w, &eligible);
+      index.EligibleTasksSorted(w, &eligible);
       const auto wnode = static_cast<flow::NodeId>(2 + p);
       bool has_source_arc = false;
       for (model::TaskId t : eligible) {
@@ -95,18 +116,24 @@ StatusOr<ScheduleResult> McfLtc::Run(const model::ProblemInstance& instance,
         if (tnode < 0) continue;  // task already completed
         if (!has_source_arc) {
           LTC_RETURN_IF_ERROR(
-              net.AddArc(st, wnode, instance.capacity, 0).status());
+              builder.AddArc(st, wnode, instance.capacity, 0).status());
           has_source_arc = true;
         }
+        const double acc_star = instance.AccStar(w.index, t);
         const auto scaled = static_cast<std::int64_t>(
-            std::llround(instance.AccStar(w.index, t) * kCostScale));
+            std::llround(acc_star * kCostScale));
         const std::int64_t cost =
             -scaled * tie_scale +
             (options_.index_tie_break ? static_cast<std::int64_t>(p) : 0);
-        LTC_RETURN_IF_ERROR(net.AddArc(wnode, tnode, 1, cost).status());
-        batch_eligible[p].push_back(t);
+        min_arc_cost = std::min(min_arc_cost, cost);
+        LTC_ASSIGN_OR_RETURN(const flow::ArcId arc,
+                             builder.AddArc(wnode, tnode, 1, cost));
+        pair_task.push_back(t);
+        pair_acc.push_back(acc_star);
+        pair_arc.push_back(arc);
       }
     }
+    pair_begin[nb] = pair_task.size();
     // Demand arcs: cap = ceil(delta - S[t]).
     for (model::TaskId t : open_tasks) {
       const double remaining = result.arrangement.Remaining(t);
@@ -114,42 +141,39 @@ StatusOr<ScheduleResult> McfLtc::Run(const model::ProblemInstance& instance,
           1, static_cast<std::int64_t>(
                  std::ceil(remaining - model::kQualityTol)));
       LTC_RETURN_IF_ERROR(
-          net.AddArc(task_node[static_cast<std::size_t>(t)], ed, demand, 0)
+          builder.AddArc(task_node[static_cast<std::size_t>(t)], ed, demand, 0)
               .status());
     }
+    builder.Build(&net);
 
     flow::McmfOptions mcmf_options;
     mcmf_options.early_exit = options_.early_exit;
+    mcmf_options.workspace = &workspace;
+    // The batch network is the layered DAG st -> workers -> tasks -> ed with
+    // negative costs only on worker->task arcs, so the potential seed is
+    // closed-form and the SPFA pass is skipped.
+    mcmf_options.layered_seed = flow::McmfOptions::LayeredSeed{
+        static_cast<flow::NodeId>(2 + nb), min_arc_cost};
     LTC_ASSIGN_OR_RETURN(auto mcmf,
                          flow::SspMinCostMaxFlow(&net, st, ed, mcmf_options));
     ++result.stats.mcf_batches;
     result.stats.mcf_augmentations += mcmf.iterations;
 
     // ---- Line 7: extract M' and update S. ----
-    std::vector<std::int32_t> batch_load(nb, 0);
-    // A worker's outgoing task arcs are exactly those added after its source
-    // arc; walk each worker node's adjacency.
-    std::vector<std::vector<char>> assigned_in_batch(nb);
+    // The pair -> arc map renders the flow directly; no adjacency walk and
+    // no searches over batch task lists.
+    batch_load.assign(nb, 0);
+    pair_assigned.assign(pair_task.size(), 0);
     for (std::size_t p = 0; p < nb; ++p) {
-      assigned_in_batch[p].assign(batch_eligible[p].size(), 0);
-      const auto wnode = static_cast<flow::NodeId>(2 + p);
       const model::Worker& w = instance.workers[batch_begin + p];
-      for (flow::ArcId a = net.First(wnode); a >= 0; a = net.Next(a)) {
-        if ((a & 1) != 0) continue;  // odd ids are residual (reverse) arcs
-        if (net.Flow(a) <= 0) continue;
-        // Map the head node back to its task id.
-        const flow::NodeId head = net.head(a);
-        const auto ti = static_cast<std::size_t>(head) - 2 - nb;
-        const model::TaskId t = open_tasks[ti];
-        result.arrangement.Add(w.index, t, instance.AccStar(w.index, t));
-        result.stats.total_acc_star += instance.AccStar(w.index, t);
+      for (std::size_t k = pair_begin[p]; k < pair_begin[p + 1]; ++k) {
+        if (net.Flow(pair_arc[k]) <= 0) continue;
+        const model::TaskId t = pair_task[k];
+        result.arrangement.Add(w.index, t, pair_acc[k]);
+        result.stats.total_acc_star += pair_acc[k];
         ++result.stats.assignments;
         ++batch_load[p];
-        // Record (p, t) to exclude from the top-up.
-        const auto it = std::lower_bound(batch_eligible[p].begin(),
-                                         batch_eligible[p].end(), t);
-        assigned_in_batch[p][static_cast<std::size_t>(
-            it - batch_eligible[p].begin())] = 1;
+        pair_assigned[k] = 1;
       }
     }
 
@@ -159,17 +183,17 @@ StatusOr<ScheduleResult> McfLtc::Run(const model::ProblemInstance& instance,
       if (spare <= 0) continue;
       if (result.arrangement.AllCompleted()) break;
       const model::Worker& w = instance.workers[batch_begin + p];
-      BoundedTopK heap(static_cast<std::size_t>(spare));
-      for (std::size_t ei = 0; ei < batch_eligible[p].size(); ++ei) {
-        if (assigned_in_batch[p][ei]) continue;  // w already performs it
-        const model::TaskId t = batch_eligible[p][ei];
+      top_up.Reset(static_cast<std::size_t>(spare));
+      for (std::size_t k = pair_begin[p]; k < pair_begin[p + 1]; ++k) {
+        if (pair_assigned[k]) continue;  // w already performs it
+        const model::TaskId t = pair_task[k];
         if (result.arrangement.TaskCompleted(t)) continue;
-        heap.Push(instance.AccStar(w.index, t), t);
+        top_up.Push(pair_acc[k], t);
       }
-      for (const auto& item : heap.TakeDescending()) {
+      for (const auto& item : top_up.TakeDescending()) {
         const auto t = static_cast<model::TaskId>(item.id);
-        result.arrangement.Add(w.index, t, instance.AccStar(w.index, t));
-        result.stats.total_acc_star += instance.AccStar(w.index, t);
+        result.arrangement.Add(w.index, t, item.score);
+        result.stats.total_acc_star += item.score;
         ++result.stats.assignments;
       }
     }

@@ -25,7 +25,9 @@ Status OnlineSchedulerBase::OnArrival(const model::Worker& worker,
   }
   if (arrangement_->AllCompleted()) return Status::OK();
 
-  index_->EligibleTasks(worker, &eligible_scratch_);
+  // Sorted: keeps arrival-time candidate order (and thus seeded Random's
+  // picks) independent of the spatial index's internal cell layout.
+  index_->EligibleTasksSorted(worker, &eligible_scratch_);
   candidates_scratch_.clear();
   const bool filter = FilterCompleted();
   for (model::TaskId t : eligible_scratch_) {

@@ -1,0 +1,29 @@
+#include "common/file_util.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cstdio>
+
+namespace ltc {
+
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  // Create the parent directory (single level) if missing.
+  auto slash = path.rfind('/');
+  if (slash != std::string::npos) {
+    std::string dir = path.substr(0, slash);
+    if (!dir.empty()) ::mkdir(dir.c_str(), 0755);  // EEXIST is fine
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  if (written != content.size()) {
+    return Status::IOError("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace ltc

@@ -1,0 +1,18 @@
+// Small file-writing helper shared by the CSV/JSON emitters.
+
+#ifndef LTC_COMMON_FILE_UTIL_H_
+#define LTC_COMMON_FILE_UTIL_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace ltc {
+
+/// Writes `content` to `path`, creating the (single-level) parent directory
+/// if missing. Returns IOError on open or short-write failures.
+Status WriteTextFile(const std::string& path, const std::string& content);
+
+}  // namespace ltc
+
+#endif  // LTC_COMMON_FILE_UTIL_H_

@@ -32,6 +32,13 @@ class BoundedTopK {
 
   explicit BoundedTopK(std::size_t k) : k_(k) {}
 
+  /// Drops all retained items and re-targets the bound; keeps capacity so
+  /// one instance can be recycled across many selections.
+  void Reset(std::size_t k) {
+    k_ = k;
+    heap_.clear();
+  }
+
   /// Offers an item; keeps only the top k.
   void Push(double score, std::int64_t id) {
     if (k_ == 0) return;
@@ -155,6 +162,13 @@ class IndexedMinHeap {
       pos_[static_cast<std::size_t>(id)] = kAbsent;
     }
     heap_.clear();
+  }
+
+  /// Re-sizes the id domain to [0, n) and clears; keeps array capacity so a
+  /// heap can be recycled across networks of different sizes.
+  void Reset(std::size_t n) {
+    heap_.clear();
+    pos_.assign(n, kAbsent);
   }
 
  private:

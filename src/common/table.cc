@@ -1,11 +1,9 @@
 #include "common/table.h"
 
-#include <sys/stat.h>
-#include <sys/types.h>
-
 #include <algorithm>
 #include <cstdio>
 
+#include "common/file_util.h"
 #include "common/string_util.h"
 
 namespace ltc {
@@ -85,23 +83,7 @@ std::string TablePrinter::RenderCsv() const {
 }
 
 Status TablePrinter::WriteCsv(const std::string& path) const {
-  // Create the parent directory (single level) if missing.
-  auto slash = path.rfind('/');
-  if (slash != std::string::npos) {
-    std::string dir = path.substr(0, slash);
-    if (!dir.empty()) ::mkdir(dir.c_str(), 0755);  // EEXIST is fine
-  }
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    return Status::IOError("cannot open '" + path + "' for writing");
-  }
-  const std::string csv = RenderCsv();
-  const std::size_t written = std::fwrite(csv.data(), 1, csv.size(), f);
-  std::fclose(f);
-  if (written != csv.size()) {
-    return Status::IOError("short write to '" + path + "'");
-  }
-  return Status::OK();
+  return WriteTextFile(path, RenderCsv());
 }
 
 }  // namespace ltc

@@ -5,50 +5,82 @@
 namespace ltc {
 namespace flow {
 
-FlowNetwork::FlowNetwork(NodeId num_nodes)
-    : first_arc_(static_cast<std::size_t>(num_nodes), -1) {}
-
-NodeId FlowNetwork::AddNode() {
-  first_arc_.push_back(-1);
-  return static_cast<NodeId>(first_arc_.size() - 1);
+void FlowNetwork::ResetFlow() {
+  // Move every reverse slot's residual (== pushed flow) back to its forward
+  // slot; restores original capacities without storing them separately.
+  for (const ArcIndex s : arc_slot_) {
+    const auto f = static_cast<std::size_t>(s);
+    const auto r = static_cast<std::size_t>(rev_[f]);
+    residual_[f] += residual_[r];
+    residual_[r] = 0;
+  }
 }
 
-StatusOr<ArcId> FlowNetwork::AddArc(NodeId from, NodeId to,
-                                    std::int64_t capacity, std::int64_t cost) {
-  if (from < 0 || from >= num_nodes() || to < 0 || to >= num_nodes()) {
+void FlowNetworkBuilder::Reset(NodeId num_nodes) {
+  num_nodes_ = num_nodes;
+  from_.clear();
+  to_.clear();
+  cap_.clear();
+  cost_.clear();
+}
+
+StatusOr<ArcId> FlowNetworkBuilder::AddArc(NodeId from, NodeId to,
+                                           std::int64_t capacity,
+                                           std::int64_t cost) {
+  if (from < 0 || from >= num_nodes_ || to < 0 || to >= num_nodes_) {
     return Status::InvalidArgument(
         StrFormat("AddArc(%d, %d): node out of range [0, %d)", from, to,
-                  num_nodes()));
+                  num_nodes_));
   }
   if (capacity < 0) {
     return Status::InvalidArgument("AddArc: negative capacity");
   }
-  auto add_half = [&](NodeId u, NodeId v, std::int64_t cap, std::int64_t c) {
-    to_.push_back(v);
-    residual_.push_back(cap);
-    cost_.push_back(c);
-    original_cap_.push_back(cap);
-    next_arc_.push_back(first_arc_[static_cast<std::size_t>(u)]);
-    first_arc_[static_cast<std::size_t>(u)] =
-        static_cast<ArcId>(to_.size() - 1);
-  };
-  add_half(from, to, capacity, cost);
-  add_half(to, from, 0, -cost);
-  return static_cast<ArcId>(to_.size() - 2);
+  from_.push_back(from);
+  to_.push_back(to);
+  cap_.push_back(capacity);
+  cost_.push_back(cost);
+  return static_cast<ArcId>(to_.size() - 1);
 }
 
-std::int64_t FlowNetwork::Flow(ArcId forward_arc) const {
-  const auto i = static_cast<std::size_t>(forward_arc);
-  return original_cap_[i] - residual_[i];
-}
+void FlowNetworkBuilder::Build(FlowNetwork* net) {
+  const auto n = static_cast<std::size_t>(num_nodes_);
+  const std::size_t m = to_.size();
+  net->num_nodes_ = num_nodes_;
+  net->first_out_.assign(n + 1, 0);
+  net->head_.resize(2 * m);
+  net->residual_.resize(2 * m);
+  net->cost_.resize(2 * m);
+  net->rev_.resize(2 * m);
+  net->arc_slot_.resize(m);
 
-void FlowNetwork::Push(ArcId a, std::int64_t amount) {
-  const auto i = static_cast<std::size_t>(a);
-  residual_[i] -= amount;
-  residual_[static_cast<std::size_t>(a ^ 1)] += amount;
-}
+  // Pass 1: out-degree per node (each arc contributes a forward slot at
+  // `from` and a reverse slot at `to`).
+  for (std::size_t i = 0; i < m; ++i) {
+    ++net->first_out_[static_cast<std::size_t>(from_[i]) + 1];
+    ++net->first_out_[static_cast<std::size_t>(to_[i]) + 1];
+  }
+  for (std::size_t v = 1; v <= n; ++v) {
+    net->first_out_[v] += net->first_out_[v - 1];
+  }
 
-void FlowNetwork::ResetFlow() { residual_ = original_cap_; }
+  // Pass 2: scatter the paired slots.
+  cursor_.assign(net->first_out_.begin(), net->first_out_.end() - 1);
+  for (std::size_t i = 0; i < m; ++i) {
+    const ArcIndex sf = cursor_[static_cast<std::size_t>(from_[i])]++;
+    const ArcIndex sr = cursor_[static_cast<std::size_t>(to_[i])]++;
+    const auto f = static_cast<std::size_t>(sf);
+    const auto r = static_cast<std::size_t>(sr);
+    net->head_[f] = to_[i];
+    net->residual_[f] = cap_[i];
+    net->cost_[f] = cost_[i];
+    net->rev_[f] = sr;
+    net->head_[r] = from_[i];
+    net->residual_[r] = 0;
+    net->cost_[r] = -cost_[i];
+    net->rev_[r] = sf;
+    net->arc_slot_[i] = sf;
+  }
+}
 
 }  // namespace flow
 }  // namespace ltc

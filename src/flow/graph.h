@@ -1,9 +1,16 @@
 // Residual flow network representation shared by all flow solvers.
 //
-// Arcs are stored in forward/backward pairs (arc i's reverse is i^1), the
-// classic residual-graph layout. Capacities and costs are int64: the MCF-LTC
-// algorithm scales its real-valued Acc* costs to integers before building the
-// network (see algo/mcf_ltc.cc) so that shortest-path computations are exact.
+// Arcs live in a CSR (compressed sparse row) layout: all residual arcs out
+// of a node occupy one contiguous slot range, so solver inner loops walk
+// sequential memory instead of chasing linked-list pointers. Networks are
+// assembled through FlowNetworkBuilder (two-pass counting sort); both the
+// builder and the network recycle their arrays across Reset()/Build()
+// cycles, which is what lets MCF-LTC solve thousands of batches without
+// reallocating (see DESIGN.md "Hot-path architecture").
+//
+// Capacities and costs are int64: the MCF-LTC algorithm scales its
+// real-valued Acc* costs to integers before building the network (see
+// algo/mcf_ltc.cc) so that shortest-path computations are exact.
 
 #ifndef LTC_FLOW_GRAPH_H_
 #define LTC_FLOW_GRAPH_H_
@@ -17,55 +24,117 @@ namespace ltc {
 namespace flow {
 
 using NodeId = std::int32_t;
+/// Id of a *forward* (user-added) arc: 0..num_arcs()-1, in AddArc order.
 using ArcId = std::int32_t;
+/// Position of a residual half-arc in the CSR slot array: each forward arc
+/// owns two slots (forward + reverse), grouped by tail node.
+using ArcIndex = std::int32_t;
 
-/// \brief Mutable residual network: nodes, paired arcs, per-arc residual
-/// capacity and cost.
+/// \brief Immutable-topology residual network in CSR form. Only residual
+/// capacities mutate (via Push); rebuild through FlowNetworkBuilder to
+/// change the topology.
 class FlowNetwork {
  public:
-  /// Creates a network with `num_nodes` nodes (ids 0..num_nodes-1).
-  explicit FlowNetwork(NodeId num_nodes);
+  /// Empty network; populate with FlowNetworkBuilder::Build.
+  FlowNetwork() = default;
 
-  /// Adds a node, returning its id.
-  NodeId AddNode();
+  NodeId num_nodes() const { return num_nodes_; }
+  /// Number of forward (user-added) arcs.
+  ArcId num_arcs() const { return static_cast<ArcId>(arc_slot_.size()); }
+  /// Number of residual half-arc slots (2 * num_arcs).
+  ArcIndex num_slots() const { return static_cast<ArcIndex>(head_.size()); }
 
-  /// Adds a directed arc from->to with the given capacity (>= 0) and cost.
-  /// Also adds the residual reverse arc (capacity 0, cost -cost).
-  /// Returns the forward arc id; the reverse is id ^ 1.
-  StatusOr<ArcId> AddArc(NodeId from, NodeId to, std::int64_t capacity,
-                         std::int64_t cost);
-
-  NodeId num_nodes() const { return static_cast<NodeId>(first_arc_.size()); }
-  ArcId num_arcs() const { return static_cast<ArcId>(to_.size()); }
-
-  NodeId head(ArcId a) const { return to_[static_cast<std::size_t>(a)]; }
-  std::int64_t residual(ArcId a) const {
-    return residual_[static_cast<std::size_t>(a)];
+  /// CSR iteration over the residual arcs leaving `v`:
+  ///   for (ArcIndex s = net.OutBegin(v); s < net.OutEnd(v); ++s) ...
+  ArcIndex OutBegin(NodeId v) const {
+    return first_out_[static_cast<std::size_t>(v)];
   }
-  std::int64_t cost(ArcId a) const { return cost_[static_cast<std::size_t>(a)]; }
+  ArcIndex OutEnd(NodeId v) const {
+    return first_out_[static_cast<std::size_t>(v) + 1];
+  }
 
-  /// Flow currently on a *forward* arc (capacity consumed so far).
-  std::int64_t Flow(ArcId forward_arc) const;
+  NodeId head(ArcIndex s) const { return head_[static_cast<std::size_t>(s)]; }
+  NodeId tail(ArcIndex s) const {
+    return head_[static_cast<std::size_t>(rev(s))];
+  }
+  std::int64_t residual(ArcIndex s) const {
+    return residual_[static_cast<std::size_t>(s)];
+  }
+  std::int64_t cost(ArcIndex s) const {
+    return cost_[static_cast<std::size_t>(s)];
+  }
+  /// Slot of the paired reverse half-arc.
+  ArcIndex rev(ArcIndex s) const { return rev_[static_cast<std::size_t>(s)]; }
 
-  /// Pushes `amount` units along arc a (reduces residual, grows reverse).
-  void Push(ArcId a, std::int64_t amount);
+  /// Slot of the forward half of user arc `arc`.
+  ArcIndex ArcSlot(ArcId arc) const {
+    return arc_slot_[static_cast<std::size_t>(arc)];
+  }
+
+  /// Flow currently on a *forward* user arc (capacity consumed so far).
+  /// Invariant: the reverse slot's residual equals the pushed flow.
+  std::int64_t Flow(ArcId arc) const {
+    return residual_[static_cast<std::size_t>(rev(ArcSlot(arc)))];
+  }
+
+  /// Pushes `amount` units along slot s (reduces residual, grows reverse).
+  void Push(ArcIndex s, std::int64_t amount) {
+    residual_[static_cast<std::size_t>(s)] -= amount;
+    residual_[static_cast<std::size_t>(rev(s))] += amount;
+  }
 
   /// Resets all arcs to their original capacities (removes all flow).
   void ResetFlow();
 
-  /// Iteration over arcs leaving a node: for (ArcId a = First(v); a >= 0;
-  /// a = Next(a)).
-  ArcId First(NodeId v) const { return first_arc_[static_cast<std::size_t>(v)]; }
-  ArcId Next(ArcId a) const { return next_arc_[static_cast<std::size_t>(a)]; }
+ private:
+  friend class FlowNetworkBuilder;
+
+  NodeId num_nodes_ = 0;
+  std::vector<ArcIndex> first_out_;  // per node, size num_nodes + 1
+  // Per residual slot, grouped by tail node.
+  std::vector<NodeId> head_;
+  std::vector<std::int64_t> residual_;
+  std::vector<std::int64_t> cost_;
+  std::vector<ArcIndex> rev_;
+  // Per forward user arc: its forward slot.
+  std::vector<ArcIndex> arc_slot_;
+};
+
+/// \brief Accumulates nodes/arcs and emits a FlowNetwork via a two-pass
+/// counting sort. Reset() keeps all array capacity, so one builder plus one
+/// network can be recycled across many build/solve cycles with zero
+/// steady-state allocation.
+class FlowNetworkBuilder {
+ public:
+  explicit FlowNetworkBuilder(NodeId num_nodes = 0) { Reset(num_nodes); }
+
+  /// Drops all arcs and resizes to `num_nodes` nodes; capacity is kept.
+  void Reset(NodeId num_nodes);
+
+  /// Adds a node, returning its id.
+  NodeId AddNode() { return num_nodes_++; }
+
+  /// Adds a directed arc from->to with the given capacity (>= 0) and cost.
+  /// The residual reverse arc (capacity 0, cost -cost) is implied. Returns
+  /// the forward arc id.
+  StatusOr<ArcId> AddArc(NodeId from, NodeId to, std::int64_t capacity,
+                         std::int64_t cost);
+
+  NodeId num_nodes() const { return num_nodes_; }
+  ArcId num_arcs() const { return static_cast<ArcId>(to_.size()); }
+
+  /// Lays the accumulated arcs out in CSR form inside *net, reusing its
+  /// arrays. The builder keeps its contents (call Reset to start over).
+  void Build(FlowNetwork* net);
 
  private:
-  // Linked-list adjacency (stable under arc insertion).
-  std::vector<ArcId> first_arc_;   // per node
-  std::vector<ArcId> next_arc_;    // per arc
-  std::vector<NodeId> to_;         // per arc
-  std::vector<std::int64_t> residual_;  // per arc
-  std::vector<std::int64_t> cost_;      // per arc
-  std::vector<std::int64_t> original_cap_;  // per arc
+  NodeId num_nodes_ = 0;
+  // Per forward arc, in AddArc order.
+  std::vector<NodeId> from_;
+  std::vector<NodeId> to_;
+  std::vector<std::int64_t> cap_;
+  std::vector<std::int64_t> cost_;
+  std::vector<ArcIndex> cursor_;  // Build scratch (per node)
 };
 
 }  // namespace flow

@@ -21,9 +21,9 @@ bool BuildLevels(const FlowNetwork& net, NodeId source, NodeId sink,
   (*level)[static_cast<std::size_t>(source)] = 0;
   for (std::size_t qi = 0; qi < queue.size(); ++qi) {
     const NodeId u = queue[qi];
-    for (ArcId a = net.First(u); a >= 0; a = net.Next(a)) {
-      if (net.residual(a) <= 0) continue;
-      const NodeId v = net.head(a);
+    for (ArcIndex s = net.OutBegin(u); s < net.OutEnd(u); ++s) {
+      if (net.residual(s) <= 0) continue;
+      const NodeId v = net.head(s);
       if ((*level)[static_cast<std::size_t>(v)] >= 0) continue;
       (*level)[static_cast<std::size_t>(v)] =
           (*level)[static_cast<std::size_t>(u)] + 1;
@@ -37,21 +37,21 @@ bool BuildLevels(const FlowNetwork& net, NodeId source, NodeId sink,
 std::int64_t BlockingDfs(FlowNetwork* net, NodeId u, NodeId sink,
                          std::int64_t limit,
                          const std::vector<std::int32_t>& level,
-                         std::vector<ArcId>* iter) {
+                         std::vector<ArcIndex>* iter) {
   if (u == sink || limit == 0) return limit;
   std::int64_t pushed_total = 0;
-  ArcId& a = (*iter)[static_cast<std::size_t>(u)];
-  for (; a >= 0; a = net->Next(a)) {
-    const NodeId v = net->head(a);
-    if (net->residual(a) <= 0 ||
+  ArcIndex& s = (*iter)[static_cast<std::size_t>(u)];
+  for (; s < net->OutEnd(u); ++s) {
+    const NodeId v = net->head(s);
+    if (net->residual(s) <= 0 ||
         level[static_cast<std::size_t>(v)] !=
             level[static_cast<std::size_t>(u)] + 1) {
       continue;
     }
     const std::int64_t pushed = BlockingDfs(
-        net, v, sink, std::min(limit, net->residual(a)), level, iter);
+        net, v, sink, std::min(limit, net->residual(s)), level, iter);
     if (pushed > 0) {
-      net->Push(a, pushed);
+      net->Push(s, pushed);
       pushed_total += pushed;
       limit -= pushed;
       if (limit == 0) break;
@@ -73,11 +73,11 @@ StatusOr<std::int64_t> DinicMaxFlow(FlowNetwork* net, NodeId source,
   }
   const auto n = static_cast<std::size_t>(net->num_nodes());
   std::vector<std::int32_t> level(n);
-  std::vector<ArcId> iter(n);
+  std::vector<ArcIndex> iter(n);
   std::int64_t total = 0;
   while (BuildLevels(*net, source, sink, &level)) {
     for (std::size_t v = 0; v < n; ++v) {
-      iter[v] = net->First(static_cast<NodeId>(v));
+      iter[v] = net->OutBegin(static_cast<NodeId>(v));
     }
     total += BlockingDfs(net, source, sink, kInf, level, &iter);
   }

@@ -1,10 +1,6 @@
 #include "flow/min_cost_flow.h"
 
 #include <algorithm>
-#include <deque>
-#include <vector>
-
-#include "common/heap.h"
 
 namespace ltc {
 namespace flow {
@@ -13,44 +9,44 @@ namespace {
 
 constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
 
-/// SPFA (queue-based Bellman-Ford). Fills dist (kInf = unreachable) and the
-/// predecessor arc of each reached node. Returns false if a negative cycle
-/// is detected.
-bool Spfa(const FlowNetwork& net, NodeId source, std::vector<std::int64_t>* dist,
-          std::vector<ArcId>* pred_arc) {
+/// SPFA (queue-based Bellman-Ford). Fills ws->dist (kInf = unreachable) and
+/// the predecessor slot of each reached node. Returns false if a negative
+/// cycle is detected.
+bool Spfa(const FlowNetwork& net, NodeId source, McmfWorkspace* ws) {
   const auto n = static_cast<std::size_t>(net.num_nodes());
-  dist->assign(n, kInf);
-  pred_arc->assign(n, -1);
-  std::vector<char> in_queue(n, 0);
-  std::vector<std::int64_t> relax_count(n, 0);
-  (*dist)[static_cast<std::size_t>(source)] = 0;
-  std::deque<NodeId> queue{source};
-  in_queue[static_cast<std::size_t>(source)] = 1;
-  while (!queue.empty()) {
-    const NodeId u = queue.front();
-    queue.pop_front();
-    in_queue[static_cast<std::size_t>(u)] = 0;
-    const std::int64_t du = (*dist)[static_cast<std::size_t>(u)];
-    for (ArcId a = net.First(u); a >= 0; a = net.Next(a)) {
-      if (net.residual(a) <= 0) continue;
-      const NodeId v = net.head(a);
-      const std::int64_t nd = du + net.cost(a);
-      if (nd < (*dist)[static_cast<std::size_t>(v)]) {
-        (*dist)[static_cast<std::size_t>(v)] = nd;
-        (*pred_arc)[static_cast<std::size_t>(v)] = a;
-        if (!in_queue[static_cast<std::size_t>(v)]) {
-          if (++relax_count[static_cast<std::size_t>(v)] >
-              static_cast<std::int64_t>(n)) {
+  std::fill(ws->dist.begin(), ws->dist.end(), kInf);
+  std::fill(ws->pred_slot.begin(), ws->pred_slot.end(), -1);
+  std::fill(ws->in_queue.begin(), ws->in_queue.end(), 0);
+  std::fill(ws->relax_count.begin(), ws->relax_count.end(), 0);
+  ws->spfa_queue.clear();
+  ws->dist[static_cast<std::size_t>(source)] = 0;
+  ws->spfa_queue.push_back(source);
+  ws->in_queue[static_cast<std::size_t>(source)] = 1;
+  while (!ws->spfa_queue.empty()) {
+    const NodeId u = ws->spfa_queue.front();
+    ws->spfa_queue.pop_front();
+    ws->in_queue[static_cast<std::size_t>(u)] = 0;
+    const std::int64_t du = ws->dist[static_cast<std::size_t>(u)];
+    for (ArcIndex s = net.OutBegin(u); s < net.OutEnd(u); ++s) {
+      if (net.residual(s) <= 0) continue;
+      const NodeId v = net.head(s);
+      const std::int64_t nd = du + net.cost(s);
+      if (nd < ws->dist[static_cast<std::size_t>(v)]) {
+        ws->dist[static_cast<std::size_t>(v)] = nd;
+        ws->pred_slot[static_cast<std::size_t>(v)] = s;
+        if (!ws->in_queue[static_cast<std::size_t>(v)]) {
+          if (++ws->relax_count[static_cast<std::size_t>(v)] >
+              static_cast<std::int32_t>(n)) {
             return false;  // negative cycle
           }
           // SLF heuristic: put promising nodes at the front.
-          if (!queue.empty() &&
-              nd < (*dist)[static_cast<std::size_t>(queue.front())]) {
-            queue.push_front(v);
+          if (!ws->spfa_queue.empty() &&
+              nd < ws->dist[static_cast<std::size_t>(ws->spfa_queue.front())]) {
+            ws->spfa_queue.push_front(v);
           } else {
-            queue.push_back(v);
+            ws->spfa_queue.push_back(v);
           }
-          in_queue[static_cast<std::size_t>(v)] = 1;
+          ws->in_queue[static_cast<std::size_t>(v)] = 1;
         }
       }
     }
@@ -60,33 +56,44 @@ bool Spfa(const FlowNetwork& net, NodeId source, std::vector<std::int64_t>* dist
 
 /// Bottleneck residual along the predecessor path into `sink`.
 std::int64_t PathBottleneck(const FlowNetwork& net,
-                            const std::vector<ArcId>& pred_arc, NodeId source,
-                            NodeId sink) {
+                            const std::vector<ArcIndex>& pred_slot,
+                            NodeId source, NodeId sink) {
   std::int64_t bottleneck = kInf;
   NodeId v = sink;
   while (v != source) {
-    const ArcId a = pred_arc[static_cast<std::size_t>(v)];
-    bottleneck = std::min(bottleneck, net.residual(a));
-    v = net.head(static_cast<ArcId>(a ^ 1));  // tail of a
+    const ArcIndex s = pred_slot[static_cast<std::size_t>(v)];
+    bottleneck = std::min(bottleneck, net.residual(s));
+    v = net.tail(s);
   }
   return bottleneck;
 }
 
 /// Pushes `amount` along the predecessor path and accumulates its cost.
-std::int64_t PushPath(FlowNetwork* net, const std::vector<ArcId>& pred_arc,
+std::int64_t PushPath(FlowNetwork* net, const std::vector<ArcIndex>& pred_slot,
                       NodeId source, NodeId sink, std::int64_t amount) {
   std::int64_t path_cost = 0;
   NodeId v = sink;
   while (v != source) {
-    const ArcId a = pred_arc[static_cast<std::size_t>(v)];
-    net->Push(a, amount);
-    path_cost += net->cost(a);
-    v = net->head(static_cast<ArcId>(a ^ 1));
+    const ArcIndex s = pred_slot[static_cast<std::size_t>(v)];
+    net->Push(s, amount);
+    path_cost += net->cost(s);
+    v = net->tail(s);
   }
   return path_cost;
 }
 
 }  // namespace
+
+void McmfWorkspace::Prepare(NodeId num_nodes) {
+  const auto n = static_cast<std::size_t>(num_nodes);
+  potential.resize(n);
+  dist.resize(n);
+  pred_slot.resize(n);
+  finalized.resize(n);
+  in_queue.resize(n);
+  relax_count.resize(n);
+  heap.Reset(n);
+}
 
 StatusOr<McmfResult> SspMinCostMaxFlow(FlowNetwork* net, NodeId source,
                                        NodeId sink,
@@ -101,30 +108,49 @@ StatusOr<McmfResult> SspMinCostMaxFlow(FlowNetwork* net, NodeId source,
   const auto n = static_cast<std::size_t>(net->num_nodes());
   McmfResult result;
 
-  // Seed potentials with exact distances (handles the negative arc costs of
-  // the LTC network, where worker->task arcs carry cost -Acc*).
-  std::vector<std::int64_t> potential(n, 0);
-  {
-    std::vector<std::int64_t> dist;
-    std::vector<ArcId> pred_arc;
-    if (!Spfa(*net, source, &dist, &pred_arc)) {
+  McmfWorkspace local_ws;
+  McmfWorkspace& ws =
+      options.workspace != nullptr ? *options.workspace : local_ws;
+  ws.Prepare(net->num_nodes());
+  std::vector<std::int64_t>& potential = ws.potential;
+
+  if (options.layered_seed.has_value()) {
+    // Closed-form seed for layered DAGs (source -> left -> right -> sink):
+    // pi = 0 on the source and left layer, cost_offset on the right layer
+    // and the sink. Every left->right arc then has reduced cost
+    // c - cost_offset >= 0, and every zero-cost source->left / right->sink
+    // arc has reduced cost 0 — non-negative across the board, so the SPFA
+    // pass is unnecessary (DESIGN.md "Hot-path architecture").
+    const NodeId right_begin = options.layered_seed->right_begin;
+    const std::int64_t offset = options.layered_seed->cost_offset;
+    for (std::size_t v = 0; v < n; ++v) {
+      potential[v] =
+          (static_cast<NodeId>(v) == sink ||
+           static_cast<NodeId>(v) >= right_begin)
+              ? offset
+              : 0;
+    }
+  } else {
+    // Seed potentials with exact distances (handles the negative arc costs
+    // of the LTC network, where worker->task arcs carry cost -Acc*).
+    if (!Spfa(*net, source, &ws)) {
       return Status::InvalidArgument(
           "SspMinCostMaxFlow: negative-cost cycle in input network");
     }
     for (std::size_t v = 0; v < n; ++v) {
-      potential[v] = dist[v] >= kInf ? kInf : dist[v];
+      potential[v] = ws.dist[v] >= kInf ? kInf : ws.dist[v];
     }
   }
 
-  std::vector<std::int64_t> dist(n);
-  std::vector<ArcId> pred_arc(n);
-  std::vector<char> finalized(n);
-  IndexedMinHeap<std::int64_t> heap(n);
+  std::vector<std::int64_t>& dist = ws.dist;
+  std::vector<ArcIndex>& pred_slot = ws.pred_slot;
+  std::vector<char>& finalized = ws.finalized;
+  IndexedMinHeap<std::int64_t>& heap = ws.heap;
 
   while (result.flow < options.flow_limit) {
     // Dijkstra on reduced costs c(a) + pi(tail) - pi(head) >= 0.
     std::fill(dist.begin(), dist.end(), kInf);
-    std::fill(pred_arc.begin(), pred_arc.end(), -1);
+    std::fill(pred_slot.begin(), pred_slot.end(), -1);
     std::fill(finalized.begin(), finalized.end(), 0);
     heap.Clear();
     dist[static_cast<std::size_t>(source)] = 0;
@@ -135,24 +161,24 @@ StatusOr<McmfResult> SspMinCostMaxFlow(FlowNetwork* net, NodeId source,
       finalized[static_cast<std::size_t>(u)] = 1;
       if (options.early_exit && u == sink) break;
       if (potential[static_cast<std::size_t>(u)] >= kInf) continue;
-      for (ArcId a = net->First(u); a >= 0; a = net->Next(a)) {
-        if (net->residual(a) <= 0) continue;
-        const NodeId v = net->head(a);
+      for (ArcIndex s = net->OutBegin(u); s < net->OutEnd(u); ++s) {
+        if (net->residual(s) <= 0) continue;
+        const NodeId v = net->head(s);
         if (finalized[static_cast<std::size_t>(v)]) continue;
         if (potential[static_cast<std::size_t>(v)] >= kInf) {
           // Node was unreachable at seed time; its potential is stale, but
           // reduced costs only matter for reachable nodes. Make it reachable
           // by adopting a consistent potential lazily.
           potential[static_cast<std::size_t>(v)] =
-              potential[static_cast<std::size_t>(u)] + net->cost(a);
+              potential[static_cast<std::size_t>(u)] + net->cost(s);
         }
-        const std::int64_t reduced = net->cost(a) +
+        const std::int64_t reduced = net->cost(s) +
                                      potential[static_cast<std::size_t>(u)] -
                                      potential[static_cast<std::size_t>(v)];
         const std::int64_t nd = du + reduced;
         if (nd < dist[static_cast<std::size_t>(v)]) {
           dist[static_cast<std::size_t>(v)] = nd;
-          pred_arc[static_cast<std::size_t>(v)] = a;
+          pred_slot[static_cast<std::size_t>(v)] = s;
           heap.PushOrDecrease(v, nd);
         }
       }
@@ -167,10 +193,10 @@ StatusOr<McmfResult> SspMinCostMaxFlow(FlowNetwork* net, NodeId source,
       potential[v] += std::min(dist[v], dsink);
     }
 
-    std::int64_t amount = PathBottleneck(*net, pred_arc, source, sink);
+    std::int64_t amount = PathBottleneck(*net, pred_slot, source, sink);
     amount = std::min(amount, options.flow_limit - result.flow);
     const std::int64_t path_cost =
-        PushPath(net, pred_arc, source, sink, amount);
+        PushPath(net, pred_slot, source, sink, amount);
     result.flow += amount;
     result.cost += amount * path_cost;
     ++result.iterations;
@@ -185,17 +211,18 @@ StatusOr<McmfResult> BellmanFordMinCostMaxFlow(FlowNetwork* net, NodeId source,
     return Status::InvalidArgument("BellmanFordMinCostMaxFlow: bad endpoints");
   }
   McmfResult result;
-  std::vector<std::int64_t> dist;
-  std::vector<ArcId> pred_arc;
+  McmfWorkspace ws;
+  ws.Prepare(net->num_nodes());
   while (true) {
-    if (!Spfa(*net, source, &dist, &pred_arc)) {
+    if (!Spfa(*net, source, &ws)) {
       return Status::InvalidArgument(
           "BellmanFordMinCostMaxFlow: negative-cost cycle in input network");
     }
-    if (dist[static_cast<std::size_t>(sink)] >= kInf) break;
-    const std::int64_t amount = PathBottleneck(*net, pred_arc, source, sink);
+    if (ws.dist[static_cast<std::size_t>(sink)] >= kInf) break;
+    const std::int64_t amount =
+        PathBottleneck(*net, ws.pred_slot, source, sink);
     const std::int64_t path_cost =
-        PushPath(net, pred_arc, source, sink, amount);
+        PushPath(net, ws.pred_slot, source, sink, amount);
     result.flow += amount;
     result.cost += amount * path_cost;
     ++result.iterations;

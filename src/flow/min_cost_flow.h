@@ -4,9 +4,16 @@
 // node potentials — the algorithm the paper names for MCF-LTC ("we apply the
 // Successive Shortest Path Algorithm (SSPA) to calculate the minimum cost
 // flow ... suitable for large-scale data and many-to-many matching", Sec.
-// III). Negative arc costs are handled by one Bellman-Ford pass to seed the
-// potentials; subsequent iterations run Dijkstra on reduced costs with
-// optional early exit at the sink.
+// III). Negative arc costs are handled either by one Bellman-Ford (SPFA)
+// pass to seed the potentials, or — when the caller declares the network a
+// layered DAG, as MCF-LTC's batch networks are — by a closed-form seed from
+// a single cost offset (see McmfOptions::layered_seed and DESIGN.md
+// "Hot-path architecture"). Subsequent iterations run Dijkstra on reduced
+// costs with optional early exit at the sink.
+//
+// Callers on a hot path should pass a long-lived McmfWorkspace through
+// McmfOptions so the solver's scratch arrays (distances, predecessors, the
+// Dijkstra heap) are recycled instead of reallocated per solve.
 //
 // A Bellman-Ford-only variant (no potentials) is provided for cross-checking
 // in tests.
@@ -15,8 +22,12 @@
 #define LTC_FLOW_MIN_COST_FLOW_H_
 
 #include <cstdint>
+#include <deque>
 #include <limits>
+#include <optional>
+#include <vector>
 
+#include "common/heap.h"
 #include "common/status.h"
 #include "flow/graph.h"
 
@@ -33,13 +44,60 @@ struct McmfResult {
   std::int64_t iterations = 0;
 };
 
+/// \brief Reusable scratch memory for the min-cost-flow solvers.
+///
+/// All buffers are sized on demand by the solver (Prepare) and keep their
+/// capacity across solves, so a caller that runs many solves — MCF-LTC runs
+/// one per batch — allocates only on the high-water mark.
+class McmfWorkspace {
+ public:
+  McmfWorkspace() = default;
+
+  /// Sizes every buffer for a network of `num_nodes` nodes. Contents are
+  /// left unspecified; the solvers re-initialise what they use.
+  void Prepare(NodeId num_nodes);
+
+  // Solver scratch (treat as opaque outside src/flow).
+  std::vector<std::int64_t> potential;
+  std::vector<std::int64_t> dist;
+  std::vector<ArcIndex> pred_slot;
+  std::vector<char> finalized;
+  std::vector<char> in_queue;
+  std::vector<std::int32_t> relax_count;
+  std::deque<NodeId> spfa_queue;
+  IndexedMinHeap<std::int64_t> heap{0};
+};
+
 /// Options for SspMinCostMaxFlow.
 struct McmfOptions {
+  /// Declares the network a layered DAG source -> left -> right -> sink in
+  /// which every negative-cost arc goes from the left layer to the right
+  /// layer and no arc costs less than `cost_offset` (<= 0). The potential
+  /// seed is then closed-form — 0 for the source and left layer,
+  /// `cost_offset` for the right layer and the sink — which keeps all
+  /// reduced costs non-negative without the Bellman-Ford pass (proof in
+  /// DESIGN.md "Hot-path architecture"). MCF-LTC's batch networks
+  /// (st -> workers -> tasks -> ed) qualify with cost_offset = the most
+  /// negative worker->task arc cost.
+  struct LayeredSeed {
+    /// Nodes in [right_begin, num_nodes) form the right layer.
+    NodeId right_begin = 0;
+    /// Lower bound (<= 0) on every arc cost in the network.
+    std::int64_t cost_offset = 0;
+  };
+
   /// Stop Dijkstra as soon as the sink is finalised (correct with the
   /// standard potential fix-up; big win on layered geometric graphs).
   bool early_exit = true;
   /// Upper bound on total flow to push (default: unlimited -> max flow).
   std::int64_t flow_limit = std::numeric_limits<std::int64_t>::max();
+  /// Optional reusable scratch; the solver falls back to a local workspace
+  /// (one-off allocations) when null.
+  McmfWorkspace* workspace = nullptr;
+  /// When set, skips the SPFA potential seed (see LayeredSeed). The caller
+  /// is responsible for the structural guarantee; a violated guarantee
+  /// yields suboptimal (not invalid) flows.
+  std::optional<LayeredSeed> layered_seed;
 };
 
 /// \brief Computes a minimum-cost maximum flow from `source` to `sink` using

@@ -62,60 +62,13 @@ void GridIndex::CellOf(const Point& p, std::int64_t* cx, std::int64_t* cy) const
 void GridIndex::QueryRadius(const Point& center, double radius,
                             std::vector<std::int64_t>* out) const {
   out->clear();
-  if (points_.empty() || radius < 0.0) return;
-  const double r2 = radius * radius;
-  // Cell range covering the query disk (clamped to the grid).
-  const auto lo_x = static_cast<std::int64_t>(
-      std::floor((center.x - radius - bounds_.min_x) / cell_size_));
-  const auto hi_x = static_cast<std::int64_t>(
-      std::floor((center.x + radius - bounds_.min_x) / cell_size_));
-  const auto lo_y = static_cast<std::int64_t>(
-      std::floor((center.y - radius - bounds_.min_y) / cell_size_));
-  const auto hi_y = static_cast<std::int64_t>(
-      std::floor((center.y + radius - bounds_.min_y) / cell_size_));
-  for (std::int64_t cy = std::max<std::int64_t>(0, lo_y);
-       cy <= std::min(cells_y_ - 1, hi_y); ++cy) {
-    for (std::int64_t cx = std::max<std::int64_t>(0, lo_x);
-         cx <= std::min(cells_x_ - 1, hi_x); ++cx) {
-      const auto c = static_cast<std::size_t>(cy * cells_x_ + cx);
-      for (std::int64_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
-        const std::int64_t id = ids_[static_cast<std::size_t>(k)];
-        if (SquaredDistance(points_[static_cast<std::size_t>(id)], center) <=
-            r2) {
-          out->push_back(id);
-        }
-      }
-    }
-  }
-  std::sort(out->begin(), out->end());
+  ForEachInRadius(center, radius,
+                  [out](std::int64_t id) { out->push_back(id); });
 }
 
 std::int64_t GridIndex::CountRadius(const Point& center, double radius) const {
-  if (points_.empty() || radius < 0.0) return 0;
-  const double r2 = radius * radius;
-  const auto lo_x = static_cast<std::int64_t>(
-      std::floor((center.x - radius - bounds_.min_x) / cell_size_));
-  const auto hi_x = static_cast<std::int64_t>(
-      std::floor((center.x + radius - bounds_.min_x) / cell_size_));
-  const auto lo_y = static_cast<std::int64_t>(
-      std::floor((center.y - radius - bounds_.min_y) / cell_size_));
-  const auto hi_y = static_cast<std::int64_t>(
-      std::floor((center.y + radius - bounds_.min_y) / cell_size_));
   std::int64_t count = 0;
-  for (std::int64_t cy = std::max<std::int64_t>(0, lo_y);
-       cy <= std::min(cells_y_ - 1, hi_y); ++cy) {
-    for (std::int64_t cx = std::max<std::int64_t>(0, lo_x);
-         cx <= std::min(cells_x_ - 1, hi_x); ++cx) {
-      const auto c = static_cast<std::size_t>(cy * cells_x_ + cx);
-      for (std::int64_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
-        const std::int64_t id = ids_[static_cast<std::size_t>(k)];
-        if (SquaredDistance(points_[static_cast<std::size_t>(id)], center) <=
-            r2) {
-          ++count;
-        }
-      }
-    }
-  }
+  ForEachInRadius(center, radius, [&count](std::int64_t) { ++count; });
   return count;
 }
 

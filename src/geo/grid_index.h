@@ -9,6 +9,8 @@
 #ifndef LTC_GEO_GRID_INDEX_H_
 #define LTC_GEO_GRID_INDEX_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -29,12 +31,47 @@ class GridIndex {
   static StatusOr<GridIndex> Build(std::vector<Point> points, double cell_size);
 
   /// Appends ids of all points within `radius` of `center` (inclusive) to
-  /// *out (cleared first). Results are in ascending id order.
+  /// *out (cleared first). Results are in cell order — ascending within a
+  /// cell, unspecified across cells; sort the output if you need global id
+  /// order (EligibilityIndex::EligibleTasksSorted does).
   void QueryRadius(const Point& center, double radius,
                    std::vector<std::int64_t>* out) const;
 
   /// Counts points within `radius` of `center` without materialising ids.
   std::int64_t CountRadius(const Point& center, double radius) const;
+
+  /// Invokes fn(id) for every point within `radius` of `center`
+  /// (inclusive), in cell order, without materialising an id vector. This
+  /// is the allocation-free primitive under QueryRadius/CountRadius and the
+  /// filtered counting of EligibilityIndex::CountEligible.
+  template <typename Fn>
+  void ForEachInRadius(const Point& center, double radius, Fn&& fn) const {
+    if (points_.empty() || radius < 0.0) return;
+    const double r2 = radius * radius;
+    // Cell range covering the query disk (clamped to the grid).
+    const auto lo_x = static_cast<std::int64_t>(
+        std::floor((center.x - radius - bounds_.min_x) / cell_size_));
+    const auto hi_x = static_cast<std::int64_t>(
+        std::floor((center.x + radius - bounds_.min_x) / cell_size_));
+    const auto lo_y = static_cast<std::int64_t>(
+        std::floor((center.y - radius - bounds_.min_y) / cell_size_));
+    const auto hi_y = static_cast<std::int64_t>(
+        std::floor((center.y + radius - bounds_.min_y) / cell_size_));
+    for (std::int64_t cy = std::max<std::int64_t>(0, lo_y);
+         cy <= std::min(cells_y_ - 1, hi_y); ++cy) {
+      for (std::int64_t cx = std::max<std::int64_t>(0, lo_x);
+           cx <= std::min(cells_x_ - 1, hi_x); ++cx) {
+        const auto c = static_cast<std::size_t>(cy * cells_x_ + cx);
+        for (std::int64_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
+          const std::int64_t id = ids_[static_cast<std::size_t>(k)];
+          if (SquaredDistance(points_[static_cast<std::size_t>(id)],
+                              center) <= r2) {
+            fn(id);
+          }
+        }
+      }
+    }
+  }
 
   /// Id of the nearest point to `center` (-1 if the index is empty).
   std::int64_t Nearest(const Point& center) const;

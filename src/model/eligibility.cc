@@ -45,15 +45,12 @@ void EligibilityIndex::EligibleTasks(const Worker& w,
   const auto radius = QueryRadius(w);
   if (radius.has_value()) {
     if (*radius < 0.0) return;  // empty disk: nothing in reach
-    std::vector<std::int64_t> ids;
-    grid_->QueryRadius(w.location, *radius, &ids);
-    out->reserve(ids.size());
-    for (std::int64_t id : ids) {
+    grid_->ForEachInRadius(w.location, *radius, [&](std::int64_t id) {
       const auto t = static_cast<TaskId>(id);
       // The radius is exact for distance-monotone models, but re-check so
       // that approximate EligibleRadius implementations stay safe.
       if (instance_->Eligible(w.index, t)) out->push_back(t);
-    }
+    });
     return;
   }
   for (const Task& t : instance_->tasks) {
@@ -61,10 +58,28 @@ void EligibilityIndex::EligibleTasks(const Worker& w,
   }
 }
 
+void EligibilityIndex::EligibleTasksSorted(const Worker& w,
+                                           std::vector<TaskId>* out) const {
+  EligibleTasks(w, out);
+  // The grid path emits cell order; the scan path is already ascending.
+  if (grid_.has_value()) std::sort(out->begin(), out->end());
+}
+
 std::int64_t EligibilityIndex::CountEligible(const Worker& w) const {
-  std::vector<TaskId> ids;
-  EligibleTasks(w, &ids);
-  return static_cast<std::int64_t>(ids.size());
+  const auto radius = QueryRadius(w);
+  if (radius.has_value()) {
+    if (*radius < 0.0) return 0;
+    std::int64_t count = 0;
+    grid_->ForEachInRadius(w.location, *radius, [&](std::int64_t id) {
+      if (instance_->Eligible(w.index, static_cast<TaskId>(id))) ++count;
+    });
+    return count;
+  }
+  std::int64_t count = 0;
+  for (const Task& t : instance_->tasks) {
+    if (instance_->Eligible(w.index, t.id)) ++count;
+  }
+  return count;
 }
 
 }  // namespace model

@@ -29,11 +29,18 @@ class EligibilityIndex {
   /// Builds the index. The instance must outlive the index.
   static StatusOr<EligibilityIndex> Build(const ProblemInstance* instance);
 
-  /// Fills *out (cleared first) with ids of all tasks eligible for `w`,
-  /// in ascending id order.
+  /// Fills *out (cleared first) with ids of all tasks eligible for `w`.
+  /// Order is unspecified: the grid-backed path yields cell order, the scan
+  /// path ascending ids. Callers that binary-search or otherwise rely on
+  /// ordering must use EligibleTasksSorted.
   void EligibleTasks(const Worker& w, std::vector<TaskId>* out) const;
 
-  /// Count of eligible tasks for `w`.
+  /// Like EligibleTasks but guarantees ascending id order — the contract
+  /// MCF-LTC's batch bookkeeping depends on.
+  void EligibleTasksSorted(const Worker& w, std::vector<TaskId>* out) const;
+
+  /// Count of eligible tasks for `w`. Allocation-free: counts through
+  /// GridIndex::ForEachInRadius (or the scan) without materialising ids.
   std::int64_t CountEligible(const Worker& w) const;
 
   /// True when spatial pruning is in effect (vs. full scans).

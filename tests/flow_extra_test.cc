@@ -18,12 +18,14 @@ TEST(SspMcmfTest, LongChainManyAugmentations) {
   // st -> c1 -> c2 -> ... -> c50 -> ed with capacity 10 each: one path,
   // 10 units in a single augmentation thanks to bottleneck pushes.
   constexpr int kChain = 50;
-  FlowNetwork net(kChain + 2);
-  ASSERT_TRUE(net.AddArc(0, 2, 10, 1).ok());
+  FlowNetworkBuilder b(kChain + 2);
+  ASSERT_TRUE(b.AddArc(0, 2, 10, 1).ok());
   for (int i = 0; i < kChain - 1; ++i) {
-    ASSERT_TRUE(net.AddArc(2 + i, 3 + i, 10, 1).ok());
+    ASSERT_TRUE(b.AddArc(2 + i, 3 + i, 10, 1).ok());
   }
-  ASSERT_TRUE(net.AddArc(kChain + 1, 1, 10, 1).ok());
+  ASSERT_TRUE(b.AddArc(kChain + 1, 1, 10, 1).ok());
+  FlowNetwork net;
+  b.Build(&net);
   auto r = SspMinCostMaxFlow(&net, 0, 1);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->flow, 10);
@@ -32,10 +34,12 @@ TEST(SspMcmfTest, LongChainManyAugmentations) {
 }
 
 TEST(SspMcmfTest, ParallelArcsPickCheaperFirst) {
-  FlowNetwork net(2);
-  ASSERT_TRUE(net.AddArc(0, 1, 1, 5).ok());
-  ASSERT_TRUE(net.AddArc(0, 1, 1, 2).ok());
-  ASSERT_TRUE(net.AddArc(0, 1, 1, 9).ok());
+  FlowNetworkBuilder b(2);
+  ASSERT_TRUE(b.AddArc(0, 1, 1, 5).ok());
+  ASSERT_TRUE(b.AddArc(0, 1, 1, 2).ok());
+  ASSERT_TRUE(b.AddArc(0, 1, 1, 9).ok());
+  FlowNetwork net;
+  b.Build(&net);
   McmfOptions options;
   options.flow_limit = 2;
   auto r = SspMinCostMaxFlow(&net, 0, 1, options);
@@ -45,10 +49,12 @@ TEST(SspMcmfTest, ParallelArcsPickCheaperFirst) {
 }
 
 TEST(SspMcmfTest, ZeroCapacityArcIgnored) {
-  FlowNetwork net(3);
-  ASSERT_TRUE(net.AddArc(0, 1, 0, -100).ok());  // attractive but unusable
-  ASSERT_TRUE(net.AddArc(0, 2, 1, 1).ok());
-  ASSERT_TRUE(net.AddArc(2, 1, 1, 1).ok());
+  FlowNetworkBuilder b(3);
+  ASSERT_TRUE(b.AddArc(0, 1, 0, -100).ok());  // attractive but unusable
+  ASSERT_TRUE(b.AddArc(0, 2, 1, 1).ok());
+  ASSERT_TRUE(b.AddArc(2, 1, 1, 1).ok());
+  FlowNetwork net;
+  b.Build(&net);
   auto r = SspMinCostMaxFlow(&net, 0, 1);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->flow, 1);
@@ -64,14 +70,16 @@ TEST(SspMcmfTest, ResidualReroutingRequired) {
   //   t1 -> ed (cap 1, 0), t2 -> ed (cap 1, 0)
   // Greedy sends a->t1; the second unit (b) only reaches t1 — SSPA must
   // reroute a to t2 through the residual arc.
-  FlowNetwork net(6);
-  ASSERT_TRUE(net.AddArc(0, 2, 1, 0).ok());   // st->a
-  ASSERT_TRUE(net.AddArc(0, 3, 1, 0).ok());   // st->b
-  ASSERT_TRUE(net.AddArc(2, 4, 1, 1).ok());   // a->t1
-  ASSERT_TRUE(net.AddArc(2, 5, 1, 10).ok());  // a->t2
-  ASSERT_TRUE(net.AddArc(3, 4, 1, 2).ok());   // b->t1
-  ASSERT_TRUE(net.AddArc(4, 1, 1, 0).ok());   // t1->ed
-  ASSERT_TRUE(net.AddArc(5, 1, 1, 0).ok());   // t2->ed
+  FlowNetworkBuilder b(6);
+  ASSERT_TRUE(b.AddArc(0, 2, 1, 0).ok());   // st->a
+  ASSERT_TRUE(b.AddArc(0, 3, 1, 0).ok());   // st->b
+  ASSERT_TRUE(b.AddArc(2, 4, 1, 1).ok());   // a->t1
+  ASSERT_TRUE(b.AddArc(2, 5, 1, 10).ok());  // a->t2
+  ASSERT_TRUE(b.AddArc(3, 4, 1, 2).ok());   // b->t1
+  ASSERT_TRUE(b.AddArc(4, 1, 1, 0).ok());   // t1->ed
+  ASSERT_TRUE(b.AddArc(5, 1, 1, 0).ok());   // t2->ed
+  FlowNetwork net;
+  b.Build(&net);
   auto r = SspMinCostMaxFlow(&net, 0, 1);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->flow, 2);
@@ -81,17 +89,19 @@ TEST(SspMcmfTest, ResidualReroutingRequired) {
 TEST(SspMcmfTest, DemandShapedNetworkSaturatesDemands) {
   // MCF-LTC shape: 3 workers (cap 2), 2 tasks with demands {2, 3}; only 4
   // of 5 demand units are coverable (task arcs limited).
-  FlowNetwork net(7);  // 0 st, 1 ed, 2-4 workers, 5-6 tasks
+  FlowNetworkBuilder b(7);  // 0 st, 1 ed, 2-4 workers, 5-6 tasks
   for (int w = 2; w <= 4; ++w) {
-    ASSERT_TRUE(net.AddArc(0, w, 2, 0).ok());
+    ASSERT_TRUE(b.AddArc(0, w, 2, 0).ok());
   }
   // worker 2 -> both tasks, worker 3 -> task 5 only, worker 4 -> task 6 only.
-  ASSERT_TRUE(net.AddArc(2, 5, 1, -900).ok());
-  ASSERT_TRUE(net.AddArc(2, 6, 1, -800).ok());
-  ASSERT_TRUE(net.AddArc(3, 5, 1, -700).ok());
-  ASSERT_TRUE(net.AddArc(4, 6, 1, -600).ok());
-  ASSERT_TRUE(net.AddArc(5, 1, 2, 0).ok());
-  ASSERT_TRUE(net.AddArc(6, 1, 3, 0).ok());
+  ASSERT_TRUE(b.AddArc(2, 5, 1, -900).ok());
+  ASSERT_TRUE(b.AddArc(2, 6, 1, -800).ok());
+  ASSERT_TRUE(b.AddArc(3, 5, 1, -700).ok());
+  ASSERT_TRUE(b.AddArc(4, 6, 1, -600).ok());
+  ASSERT_TRUE(b.AddArc(5, 1, 2, 0).ok());
+  ASSERT_TRUE(b.AddArc(6, 1, 3, 0).ok());
+  FlowNetwork net;
+  b.Build(&net);
   auto r = SspMinCostMaxFlow(&net, 0, 1);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->flow, 4);
@@ -99,12 +109,14 @@ TEST(SspMcmfTest, DemandShapedNetworkSaturatesDemands) {
 }
 
 TEST(BellmanFordMcmfTest, NegativeCycleRejected) {
-  FlowNetwork net(3);
-  ASSERT_TRUE(net.AddArc(0, 1, 1, -5).ok());
-  ASSERT_TRUE(net.AddArc(1, 2, 1, -5).ok());
-  ASSERT_TRUE(net.AddArc(2, 0, 1, -5).ok());
-  const auto node = net.AddNode();
-  ASSERT_TRUE(net.AddArc(0, node, 1, 0).ok());
+  FlowNetworkBuilder b(3);
+  ASSERT_TRUE(b.AddArc(0, 1, 1, -5).ok());
+  ASSERT_TRUE(b.AddArc(1, 2, 1, -5).ok());
+  ASSERT_TRUE(b.AddArc(2, 0, 1, -5).ok());
+  const auto node = b.AddNode();
+  ASSERT_TRUE(b.AddArc(0, node, 1, 0).ok());
+  FlowNetwork net;
+  b.Build(&net);
   auto r = BellmanFordMinCostMaxFlow(&net, 0, node);
   // The source-side negative cycle is reachable; the solver must refuse
   // rather than loop forever.
@@ -113,16 +125,18 @@ TEST(BellmanFordMcmfTest, NegativeCycleRejected) {
 
 TEST(DinicTest, UnitBipartiteMatching) {
   // 4x4 bipartite perfect matching via unit capacities.
-  FlowNetwork net(10);  // 0 st, 1 ed, 2-5 left, 6-9 right
+  FlowNetworkBuilder b(10);  // 0 st, 1 ed, 2-5 left, 6-9 right
   for (int l = 0; l < 4; ++l) {
-    ASSERT_TRUE(net.AddArc(0, 2 + l, 1, 0).ok());
-    ASSERT_TRUE(net.AddArc(6 + l, 1, 1, 0).ok());
+    ASSERT_TRUE(b.AddArc(0, 2 + l, 1, 0).ok());
+    ASSERT_TRUE(b.AddArc(6 + l, 1, 1, 0).ok());
   }
   // Ring adjacency: left i -> right i and right (i+1)%4.
   for (int l = 0; l < 4; ++l) {
-    ASSERT_TRUE(net.AddArc(2 + l, 6 + l, 1, 0).ok());
-    ASSERT_TRUE(net.AddArc(2 + l, 6 + (l + 1) % 4, 1, 0).ok());
+    ASSERT_TRUE(b.AddArc(2 + l, 6 + l, 1, 0).ok());
+    ASSERT_TRUE(b.AddArc(2 + l, 6 + (l + 1) % 4, 1, 0).ok());
   }
+  FlowNetwork net;
+  b.Build(&net);
   auto r = DinicMaxFlow(&net, 0, 1);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r.value(), 4);
@@ -137,21 +151,23 @@ TEST_P(BigRandomMcmfTest, SspMatchesBellmanFordOnLargerGraphs) {
   const std::uint64_t seed = rng.NextU64();
   auto build = [&](std::uint64_t s) {
     Rng r(s);
-    FlowNetwork net(2 + workers + tasks);
+    FlowNetworkBuilder b(2 + workers + tasks);
     for (int w = 0; w < workers; ++w) {
-      EXPECT_TRUE(net.AddArc(0, 2 + w, r.UniformInt(1, 4), 0).ok());
+      EXPECT_TRUE(b.AddArc(0, 2 + w, r.UniformInt(1, 4), 0).ok());
       for (int t = 0; t < tasks; ++t) {
         if (r.Bernoulli(0.4)) {
-          EXPECT_TRUE(net.AddArc(2 + w, 2 + workers + t, 1,
-                                 -r.UniformInt(1, 100000))
+          EXPECT_TRUE(b.AddArc(2 + w, 2 + workers + t, 1,
+                               -r.UniformInt(1, 100000))
                           .ok());
         }
       }
     }
     for (int t = 0; t < tasks; ++t) {
       EXPECT_TRUE(
-          net.AddArc(2 + workers + t, 1, r.UniformInt(1, 6), 0).ok());
+          b.AddArc(2 + workers + t, 1, r.UniformInt(1, 6), 0).ok());
     }
+    FlowNetwork net;
+    b.Build(&net);
     return net;
   };
   FlowNetwork a = build(seed);

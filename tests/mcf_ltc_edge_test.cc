@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "algo/mcf_ltc.h"
 #include "flow/graph.h"
@@ -101,24 +103,26 @@ TEST(McfLtcEdgeTest, FirstBatchFlowAgreesWithReferenceSolver) {
   // Hand-built network: st=0, ed=1, workers 2..9, tasks 10..12; all 8
   // workers are in the first batch (1.5m = 9 > 8).
   const double delta = instance.Delta();
-  flow::FlowNetwork net(13);
+  flow::FlowNetworkBuilder builder(13);
   constexpr std::int64_t kScale = 1'000'000;
   for (int w = 0; w < 8; ++w) {
-    ASSERT_TRUE(net.AddArc(0, 2 + w, 2, 0).ok());
+    ASSERT_TRUE(builder.AddArc(0, 2 + w, 2, 0).ok());
     for (int t = 0; t < 3; ++t) {
       const double acc_star =
           instance.AccStar(static_cast<model::WorkerIndex>(w + 1),
                            static_cast<model::TaskId>(t));
-      ASSERT_TRUE(net.AddArc(2 + w, 10 + t, 1,
-                             -static_cast<std::int64_t>(
-                                 std::llround(acc_star * kScale)))
+      ASSERT_TRUE(builder.AddArc(2 + w, 10 + t, 1,
+                                 -static_cast<std::int64_t>(
+                                     std::llround(acc_star * kScale)))
                       .ok());
     }
   }
   const auto demand = static_cast<std::int64_t>(std::ceil(delta));
   for (int t = 0; t < 3; ++t) {
-    ASSERT_TRUE(net.AddArc(10 + t, 1, demand, 0).ok());
+    ASSERT_TRUE(builder.AddArc(10 + t, 1, demand, 0).ok());
   }
+  flow::FlowNetwork net;
+  builder.Build(&net);
   auto reference = flow::BellmanFordMinCostMaxFlow(&net, 0, 1);
   ASSERT_TRUE(reference.ok());
   EXPECT_EQ(reference->flow, 12);  // 3 tasks x demand 4, workers suffice
@@ -162,6 +166,88 @@ TEST(McfLtcEdgeTest, LatencyNeverBelowSupplyOfLastTask) {
     }
     EXPECT_EQ(result->latency, result->arrangement.MaxWorkerIndex());
   }
+}
+
+/// Same Acc as an inner model but with the distance structure hidden, which
+/// forces EligibilityIndex down the full-scan (ascending id) path.
+class ScanOnlyAccuracy : public model::AccuracyFunction {
+ public:
+  explicit ScanOnlyAccuracy(
+      std::shared_ptr<const model::AccuracyFunction> inner)
+      : inner_(std::move(inner)) {}
+  double Acc(const model::Worker& w, const model::Task& t) const override {
+    return inner_->Acc(w, t);
+  }
+  std::string Name() const override {
+    return "scan-only(" + inner_->Name() + ")";
+  }
+
+ private:
+  std::shared_ptr<const model::AccuracyFunction> inner_;
+};
+
+/// Instance whose grid cells do NOT enumerate tasks in id order: task 1 sits
+/// in the cell left of tasks 0 and 2, so the grid path yields {1, 0, 2}.
+model::ProblemInstance GridOrderInstance(
+    std::shared_ptr<const model::AccuracyFunction> accuracy) {
+  model::ProblemInstance instance;
+  instance.epsilon = 0.2;
+  instance.capacity = 2;
+  instance.accuracy = std::move(accuracy);
+  instance.tasks = {{0, {40.0, 0.0}}, {1, {0.0, 0.0}}, {2, {42.0, 0.0}}};
+  for (int i = 0; i < 30; ++i) {
+    model::Worker w;
+    w.index = static_cast<model::WorkerIndex>(i + 1);
+    w.location = {15.0 + static_cast<double>(i % 11),
+                  -3.0 + static_cast<double>(i % 7)};
+    w.historical_accuracy = 0.85 + 0.01 * static_cast<double>(i % 10);
+    instance.workers.push_back(w);
+  }
+  return instance;
+}
+
+TEST(McfLtcEdgeTest, GridCellOrderDoesNotChangeResults) {
+  auto sigmoid = std::make_shared<model::SigmoidDistanceAccuracy>(30.0);
+  model::ProblemInstance grid_instance = GridOrderInstance(sigmoid);
+  model::ProblemInstance scan_instance =
+      GridOrderInstance(std::make_shared<ScanOnlyAccuracy>(sigmoid));
+
+  auto grid_index = model::EligibilityIndex::Build(&grid_instance);
+  ASSERT_TRUE(grid_index.ok());
+  ASSERT_TRUE(grid_index->spatial());
+  auto scan_index = model::EligibilityIndex::Build(&scan_instance);
+  ASSERT_TRUE(scan_index.ok());
+  ASSERT_FALSE(scan_index->spatial());
+
+  // The premise of the regression: for an all-tasks-eligible worker the raw
+  // grid enumeration is cell order {1, 0, 2} — not ascending — while the
+  // sorted batch API restores ascending ids.
+  std::vector<model::TaskId> raw;
+  grid_index->EligibleTasks(grid_instance.workers[0], &raw);
+  ASSERT_EQ(raw, (std::vector<model::TaskId>{1, 0, 2}));
+  std::vector<model::TaskId> sorted;
+  grid_index->EligibleTasksSorted(grid_instance.workers[0], &sorted);
+  EXPECT_EQ(sorted, (std::vector<model::TaskId>{0, 1, 2}));
+
+  // MCF-LTC must be oblivious to the spatial index's internal order: the
+  // grid-pruned run and the full-scan run see identical Acc values and must
+  // produce identical schedules.
+  McfLtc mcf_grid;
+  auto grid_result = mcf_grid.Run(grid_instance, *grid_index);
+  ASSERT_TRUE(grid_result.ok());
+  McfLtc mcf_scan;
+  auto scan_result = mcf_scan.Run(scan_instance, *scan_index);
+  ASSERT_TRUE(scan_result.ok());
+
+  EXPECT_EQ(grid_result->completed, scan_result->completed);
+  EXPECT_EQ(grid_result->latency, scan_result->latency);
+  EXPECT_EQ(grid_result->stats.assignments, scan_result->stats.assignments);
+  EXPECT_NEAR(grid_result->stats.total_acc_star,
+              scan_result->stats.total_acc_star, 1e-9);
+  EXPECT_TRUE(grid_result->completed);
+  EXPECT_TRUE(model::ValidateArrangement(grid_instance,
+                                         grid_result->arrangement, true)
+                  .ok());
 }
 
 TEST(McfLtcEdgeTest, HugeBatchFactorSingleBatch) {

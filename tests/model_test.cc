@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 
@@ -281,13 +282,17 @@ TEST(EligibilityIndexTest, SpatialMatchesBruteForce) {
   EXPECT_TRUE(index.spatial());
 
   std::vector<TaskId> got;
+  std::vector<TaskId> got_sorted;
   for (const Worker& w : instance.workers) {
     index.EligibleTasks(w, &got);
+    std::sort(got.begin(), got.end());  // EligibleTasks order is unspecified
+    index.EligibleTasksSorted(w, &got_sorted);
     std::vector<TaskId> expect;
     for (const Task& t : instance.tasks) {
       if (instance.Eligible(w.index, t.id)) expect.push_back(t.id);
     }
     ASSERT_EQ(got, expect) << "worker " << w.index;
+    ASSERT_EQ(got_sorted, expect) << "worker " << w.index;
     EXPECT_EQ(index.CountEligible(w),
               static_cast<std::int64_t>(expect.size()));
   }
