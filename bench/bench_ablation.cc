@@ -2,181 +2,19 @@
 //
 //   1. MCF-LTC batch size (the paper's own Sec. V-B1 discussion attributes
 //      MCF-LTC's occasional losses to batch size): batch_factor in
-//      {0.25, 0.5, 1.0, 2.0, 4.0} x m.
-//   2. MCF-LTC index tie-break on/off (equal-cost flow optima).
-//   3. Accuracy function: paper sigmoid vs hard step vs flat (no distance).
+//      {0.25, 0.5, 1.0, 2.0, 4.0} x m, plus tie-break/early-exit toggles.
+//   2. Accuracy function: paper sigmoid vs hard step vs flat (no distance).
+//   3. AAM's switching rule vs its two pure halves (LGF-only / LRF-only).
 //   4. dmax sensitivity: {10, 20, 30, 40, 50} grid units.
 //
-// Run:  ./build/bench/bench_ablation [--reps=5]
+// Thin wrapper: equivalent to  bench_suite --figure=ablation_mcf_variants,
+// ablation_accuracy_fn,ablation_aam_strategy,ablation_dmax
+// Run:  ./build/bench/bench_ablation [--reps=5] [--threads=N]
 
-#include <cstdio>
-#include <map>
-
-#include "algo/mcf_ltc.h"
-#include "bench/bench_util.h"
-#include "common/table.h"
-#include "common/timer.h"
-#include "gen/synthetic.h"
-#include "model/eligibility.h"
-#include "sim/engine.h"
-#include "sim/metrics.h"
-
-namespace {
-
-using ltc::Status;
-using ltc::StrFormat;
-
-ltc::gen::SyntheticConfig AblationBaseConfig() {
-  // Smaller than the figure benches: ablations run many MCF variants.
-  ltc::gen::SyntheticConfig cfg = ltc::bench::BaseSyntheticConfig();
-  cfg.num_tasks = ltc::bench::ScaledCount(2000);
-  cfg.num_workers = ltc::bench::ScaledCount(30000);
-  return cfg;
-}
-
-/// Sweeps MCF-LTC options over fresh instances; prints latency/runtime.
-Status McfVariantsAblation(const ltc::bench::BenchOptions& options) {
-  struct Variant {
-    std::string name;
-    ltc::algo::McfLtcOptions mcf;
-  };
-  std::vector<Variant> variants;
-  for (double factor : {0.25, 0.5, 1.0, 2.0, 4.0}) {
-    ltc::algo::McfLtcOptions mcf_options;
-    mcf_options.batch_factor = factor;
-    variants.push_back({StrFormat("batch=%.2fm", factor), mcf_options});
-  }
-  {
-    ltc::algo::McfLtcOptions no_tie;
-    no_tie.index_tie_break = false;
-    variants.push_back({"no-tie-break", no_tie});
-    ltc::algo::McfLtcOptions no_early;
-    no_early.early_exit = false;
-    variants.push_back({"no-early-exit", no_early});
-  }
-
-  ltc::TablePrinter table({"variant", "latency", "runtime(s)", "batches",
-                           "augmentations", "completed"});
-  for (const auto& variant : variants) {
-    double latency_sum = 0;
-    double runtime_sum = 0;
-    std::int64_t batches = 0;
-    std::int64_t augmentations = 0;
-    std::int64_t completed = 0;
-    for (std::int64_t rep = 0; rep < options.reps; ++rep) {
-      ltc::gen::SyntheticConfig cfg = AblationBaseConfig();
-      cfg.seed = options.seed + static_cast<std::uint64_t>(rep) * 131;
-      LTC_ASSIGN_OR_RETURN(auto instance, ltc::gen::GenerateSynthetic(cfg));
-      LTC_ASSIGN_OR_RETURN(auto index,
-                           ltc::model::EligibilityIndex::Build(&instance));
-      ltc::algo::McfLtc mcf(variant.mcf);
-      ltc::Stopwatch watch;
-      LTC_ASSIGN_OR_RETURN(auto result, mcf.Run(instance, index));
-      runtime_sum += watch.ElapsedSeconds();
-      latency_sum += static_cast<double>(result.latency);
-      batches += result.stats.mcf_batches;
-      augmentations += result.stats.mcf_augmentations;
-      if (result.completed) ++completed;
-    }
-    const double reps = static_cast<double>(options.reps);
-    table.AddRow({variant.name, StrFormat("%.1f", latency_sum / reps),
-                  StrFormat("%.4f", runtime_sum / reps),
-                  StrFormat("%.1f", static_cast<double>(batches) / reps),
-                  StrFormat("%.0f", static_cast<double>(augmentations) / reps),
-                  StrFormat("%lld/%lld", static_cast<long long>(completed),
-                            static_cast<long long>(options.reps))});
-  }
-  std::printf("\n-- ablation: MCF-LTC variants --\n%s", table.Render().c_str());
-  return table.WriteCsv(options.out_dir + "/ablation_mcf_variants.csv");
-}
-
-/// Compares the three accuracy models on the full roster.
-Status AccuracyFunctionAblation(const ltc::bench::BenchOptions& options) {
-  std::vector<ltc::bench::BenchCase> cases;
-  struct Model {
-    std::string name;
-    std::function<std::shared_ptr<ltc::model::AccuracyFunction>(double dmax)>
-        make;
-  };
-  const std::vector<Model> models = {
-      {"sigmoid(paper)",
-       [](double dmax) {
-         return std::make_shared<ltc::model::SigmoidDistanceAccuracy>(dmax);
-       }},
-      {"step",
-       [](double dmax) {
-         return std::make_shared<ltc::model::StepDistanceAccuracy>(dmax);
-       }},
-      {"flat",
-       [](double) { return std::make_shared<ltc::model::FlatAccuracy>(); }},
-  };
-  for (const auto& m : models) {
-    auto make = m.make;
-    cases.push_back(ltc::bench::BenchCase{
-        m.name, [make](std::uint64_t seed) {
-          ltc::gen::SyntheticConfig cfg = AblationBaseConfig();
-          cfg.seed = seed;
-          auto instance = ltc::gen::GenerateSynthetic(cfg);
-          if (!instance.ok()) return instance;
-          instance.value().accuracy = make(cfg.dmax);
-          return instance;
-        }});
-  }
-  return ltc::bench::RunFigureBench("ablation_accuracy_fn", "model", cases,
-                                    options);
-}
-
-/// AAM's switching rule vs its two pure halves (and LAF as the reference):
-/// LGF-only never protects bottleneck tasks, LRF-only never economises
-/// accurate workers; Algorithm 3's avg-vs-maxRemain switch hybridises them.
-Status AamStrategyAblation(const ltc::bench::BenchOptions& options) {
-  std::vector<ltc::bench::BenchCase> cases;
-  for (double epsilon : {0.06, 0.14, 0.22}) {
-    cases.push_back(ltc::bench::BenchCase{
-        StrFormat("%.2f", epsilon), [epsilon](std::uint64_t seed) {
-          ltc::gen::SyntheticConfig cfg = AblationBaseConfig();
-          cfg.epsilon = epsilon;
-          cfg.seed = seed;
-          return ltc::gen::GenerateSynthetic(cfg);
-        }});
-  }
-  return ltc::bench::RunFigureBenchWithAlgorithms(
-      "ablation_aam_strategy", "eps", cases,
-      {"LAF", "LGF-only", "LRF-only", "AAM"}, options);
-}
-
-/// dmax sensitivity on the full roster.
-Status DmaxAblation(const ltc::bench::BenchOptions& options) {
-  std::vector<ltc::bench::BenchCase> cases;
-  for (double dmax : {10.0, 20.0, 30.0, 40.0, 50.0}) {
-    cases.push_back(ltc::bench::BenchCase{
-        StrFormat("%.0f", dmax), [dmax](std::uint64_t seed) {
-          ltc::gen::SyntheticConfig cfg = AblationBaseConfig();
-          cfg.dmax = dmax;
-          cfg.seed = seed;
-          return ltc::gen::GenerateSynthetic(cfg);
-        }});
-  }
-  return ltc::bench::RunFigureBench("ablation_dmax", "dmax", cases, options);
-}
-
-}  // namespace
+#include "exp/suite_main.h"
 
 int main(int argc, char** argv) {
-  auto options = ltc::bench::ParseBenchFlags(argc, argv);
-  if (!options.ok()) {
-    std::fprintf(stderr, "%s\n", options.status().ToString().c_str());
-    return options.status().IsFailedPrecondition() ? 0 : 1;
-  }
-  for (const auto& status :
-       {McfVariantsAblation(options.value()),
-        AccuracyFunctionAblation(options.value()),
-        AamStrategyAblation(options.value()),
-        DmaxAblation(options.value())}) {
-    if (!status.ok()) {
-      std::fprintf(stderr, "%s\n", status.ToString().c_str());
-      return 1;
-    }
-  }
-  return 0;
+  return ltc::exp::SuiteMain(argc, argv,
+                             {"ablation_mcf_variants", "ablation_accuracy_fn",
+                              "ablation_aam_strategy", "ablation_dmax"});
 }

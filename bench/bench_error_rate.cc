@@ -3,86 +3,14 @@
 // weighted majority voting errs with probability < eps.
 //
 // For each eps, completes a synthetic workload with AAM, then simulates
-// `trials` voting rounds per task and reports the observed error rates
+// --trials voting rounds per task and reports the observed error rates
 // against the promised bound.
 //
+// Thin wrapper: equivalent to  bench_suite --figure=error_rate
 // Run:  ./build/bench/bench_error_rate [--reps=3] [--trials=2000]
 
-#include <cstdio>
-
-#include "algo/registry.h"
-#include "bench/bench_util.h"
-#include "common/flags.h"
-#include "common/table.h"
-#include "gen/synthetic.h"
-#include "model/eligibility.h"
-#include "model/voting.h"
-#include "sim/engine.h"
-
-namespace {
-
-ltc::Flag<std::int64_t> FLAG_trials("trials", 2000,
-                                    "voting trials per task and rep");
-
-}  // namespace
+#include "exp/suite_main.h"
 
 int main(int argc, char** argv) {
-  auto options = ltc::bench::ParseBenchFlags(argc, argv);
-  if (!options.ok()) {
-    std::fprintf(stderr, "%s\n", options.status().ToString().c_str());
-    return options.status().IsFailedPrecondition() ? 0 : 1;
-  }
-
-  ltc::TablePrinter table({"eps", "delta", "empirical error", "worst task",
-                           "bound holds"});
-  for (double epsilon : {0.06, 0.10, 0.14, 0.18, 0.22}) {
-    double err_sum = 0;
-    double worst = 0;
-    for (std::int64_t rep = 0; rep < options->reps; ++rep) {
-      ltc::gen::SyntheticConfig cfg = ltc::bench::BaseSyntheticConfig();
-      cfg.num_tasks = ltc::bench::ScaledCount(1000);
-      cfg.num_workers = ltc::bench::ScaledCount(20000);
-      cfg.epsilon = epsilon;
-      cfg.seed = options->seed + static_cast<std::uint64_t>(rep) * 977;
-      auto instance = ltc::gen::GenerateSynthetic(cfg);
-      if (!instance.ok()) {
-        std::fprintf(stderr, "%s\n", instance.status().ToString().c_str());
-        return 1;
-      }
-      auto index = ltc::model::EligibilityIndex::Build(&instance.value());
-      if (!index.ok()) {
-        std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
-        return 1;
-      }
-      auto scheduler = ltc::algo::MakeOnlineScheduler("AAM", cfg.seed);
-      scheduler.status().CheckOK();
-      (*scheduler)->Init(*instance, *index).CheckOK();
-      std::vector<ltc::model::TaskId> assigned;
-      for (const auto& w : instance->workers) {
-        if ((*scheduler)->Done()) break;
-        (*scheduler)->OnArrival(w, &assigned).CheckOK();
-      }
-      auto outcome = ltc::model::SimulateVoting(
-          *instance, (*scheduler)->arrangement(), FLAG_trials.Get(),
-          cfg.seed + 1);
-      outcome.status().CheckOK();
-      err_sum += outcome->empirical_error_rate;
-      worst = std::max(worst, outcome->max_task_error_rate);
-    }
-    const double mean_err = err_sum / static_cast<double>(options->reps);
-    table.AddRow({ltc::StrFormat("%.2f", epsilon),
-                  ltc::StrFormat("%.3f", 2.0 * std::log(1.0 / epsilon)),
-                  ltc::StrFormat("%.5f", mean_err),
-                  ltc::StrFormat("%.5f", worst),
-                  worst < epsilon ? "yes" : "NO"});
-  }
-  std::printf("\n-- error-rate validation (Hoeffding bound) --\n%s",
-              table.Render().c_str());
-  const auto status =
-      table.WriteCsv(options->out_dir + "/error_rate_validation.csv");
-  if (!status.ok()) {
-    std::fprintf(stderr, "%s\n", status.ToString().c_str());
-    return 1;
-  }
-  return 0;
+  return ltc::exp::SuiteMain(argc, argv, {"error_rate"});
 }

@@ -2,37 +2,11 @@
 // *normally* distributed historical accuracy, mu in {0.82..0.90}, sigma =
 // 0.05 (Table IV).
 //
+// Thin wrapper: equivalent to  bench_suite --figure=fig3_accuracy_normal
 // Run:  ./build/bench/bench_fig3_accuracy_normal [--paper] [--reps=30]
 
-#include <cstdio>
-
-#include "bench/bench_util.h"
-#include "gen/synthetic.h"
+#include "exp/suite_main.h"
 
 int main(int argc, char** argv) {
-  auto options = ltc::bench::ParseBenchFlags(argc, argv);
-  if (!options.ok()) {
-    std::fprintf(stderr, "%s\n", options.status().ToString().c_str());
-    return options.status().IsFailedPrecondition() ? 0 : 1;
-  }
-
-  std::vector<ltc::bench::BenchCase> cases;
-  for (double mu : {0.82, 0.84, 0.86, 0.88, 0.90}) {
-    cases.push_back(ltc::bench::BenchCase{
-        ltc::StrFormat("%.2f", mu), [mu](std::uint64_t seed) {
-          ltc::gen::SyntheticConfig cfg = ltc::bench::BaseSyntheticConfig();
-          cfg.distribution = ltc::gen::AccuracyDistribution::kNormal;
-          cfg.accuracy_mean = mu;
-          cfg.seed = seed;
-          return ltc::gen::GenerateSynthetic(cfg);
-        }});
-  }
-
-  const auto status = ltc::bench::RunFigureBench("fig3_accuracy_normal", "mu",
-                                                 cases, options.value());
-  if (!status.ok()) {
-    std::fprintf(stderr, "%s\n", status.ToString().c_str());
-    return 1;
-  }
-  return 0;
+  return ltc::exp::SuiteMain(argc, argv, {"fig3_accuracy_normal"});
 }

@@ -1,36 +1,11 @@
 // Fig. 3b/3f/3j — latency / runtime / memory while varying the worker
 // capacity K in {4..8} (|T| = 3000, |W| = 40000, eps = 0.1; Table IV).
 //
-// Run:  ./build/bench/bench_fig3_capacity [--paper] [--reps=30]
+// Thin wrapper: equivalent to  bench_suite --figure=fig3_capacity
+// Run:  ./build/bench/bench_fig3_capacity [--paper] [--reps=30] [--threads=N]
 
-#include <cstdio>
-
-#include "bench/bench_util.h"
-#include "gen/synthetic.h"
+#include "exp/suite_main.h"
 
 int main(int argc, char** argv) {
-  auto options = ltc::bench::ParseBenchFlags(argc, argv);
-  if (!options.ok()) {
-    std::fprintf(stderr, "%s\n", options.status().ToString().c_str());
-    return options.status().IsFailedPrecondition() ? 0 : 1;
-  }
-
-  std::vector<ltc::bench::BenchCase> cases;
-  for (std::int32_t capacity : {4, 5, 6, 7, 8}) {
-    cases.push_back(ltc::bench::BenchCase{
-        ltc::StrFormat("%d", capacity), [capacity](std::uint64_t seed) {
-          ltc::gen::SyntheticConfig cfg = ltc::bench::BaseSyntheticConfig();
-          cfg.capacity = capacity;
-          cfg.seed = seed;
-          return ltc::gen::GenerateSynthetic(cfg);
-        }});
-  }
-
-  const auto status = ltc::bench::RunFigureBench("fig3_capacity", "K", cases,
-                                                 options.value());
-  if (!status.ok()) {
-    std::fprintf(stderr, "%s\n", status.ToString().c_str());
-    return 1;
-  }
-  return 0;
+  return ltc::exp::SuiteMain(argc, argv, {"fig3_capacity"});
 }

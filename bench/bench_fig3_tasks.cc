@@ -2,38 +2,11 @@
 // varying the task cardinality |T| in {1000..5000} (|W| = 40000, K = 6,
 // eps = 0.1, accuracy ~ N(0.86, 0.05); Table IV).
 //
-// Run:  ./build/bench/bench_fig3_tasks [--paper] [--reps=30]
+// Thin wrapper: equivalent to  bench_suite --figure=fig3_tasks
+// Run:  ./build/bench/bench_fig3_tasks [--paper] [--reps=30] [--threads=N]
 
-#include <cstdio>
-
-#include "bench/bench_util.h"
-#include "gen/synthetic.h"
+#include "exp/suite_main.h"
 
 int main(int argc, char** argv) {
-  auto options = ltc::bench::ParseBenchFlags(argc, argv);
-  if (!options.ok()) {
-    std::fprintf(stderr, "%s\n", options.status().ToString().c_str());
-    return options.status().IsFailedPrecondition() ? 0 : 1;
-  }
-
-  std::vector<ltc::bench::BenchCase> cases;
-  for (std::int64_t paper_tasks : {1000, 2000, 3000, 4000, 5000}) {
-    const std::int64_t tasks = ltc::bench::ScaledCount(paper_tasks);
-    cases.push_back(ltc::bench::BenchCase{
-        ltc::StrFormat("%lld", static_cast<long long>(paper_tasks)),
-        [tasks](std::uint64_t seed) {
-          ltc::gen::SyntheticConfig cfg = ltc::bench::BaseSyntheticConfig();
-          cfg.num_tasks = tasks;
-          cfg.seed = seed;
-          return ltc::gen::GenerateSynthetic(cfg);
-        }});
-  }
-
-  const auto status = ltc::bench::RunFigureBench("fig3_tasks", "|T|", cases,
-                                                 options.value());
-  if (!status.ok()) {
-    std::fprintf(stderr, "%s\n", status.ToString().c_str());
-    return 1;
-  }
-  return 0;
+  return ltc::exp::SuiteMain(argc, argv, {"fig3_tasks"});
 }

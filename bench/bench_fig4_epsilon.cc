@@ -2,36 +2,11 @@
 // error rate eps in {0.06, 0.10, 0.14, 0.18, 0.22} on the synthetic default
 // workload (Table IV).
 //
-// Run:  ./build/bench/bench_fig4_epsilon [--paper] [--reps=30]
+// Thin wrapper: equivalent to  bench_suite --figure=fig4_epsilon
+// Run:  ./build/bench/bench_fig4_epsilon [--paper] [--reps=30] [--threads=N]
 
-#include <cstdio>
-
-#include "bench/bench_util.h"
-#include "gen/synthetic.h"
+#include "exp/suite_main.h"
 
 int main(int argc, char** argv) {
-  auto options = ltc::bench::ParseBenchFlags(argc, argv);
-  if (!options.ok()) {
-    std::fprintf(stderr, "%s\n", options.status().ToString().c_str());
-    return options.status().IsFailedPrecondition() ? 0 : 1;
-  }
-
-  std::vector<ltc::bench::BenchCase> cases;
-  for (double epsilon : {0.06, 0.10, 0.14, 0.18, 0.22}) {
-    cases.push_back(ltc::bench::BenchCase{
-        ltc::StrFormat("%.2f", epsilon), [epsilon](std::uint64_t seed) {
-          ltc::gen::SyntheticConfig cfg = ltc::bench::BaseSyntheticConfig();
-          cfg.epsilon = epsilon;
-          cfg.seed = seed;
-          return ltc::gen::GenerateSynthetic(cfg);
-        }});
-  }
-
-  const auto status = ltc::bench::RunFigureBench("fig4_epsilon", "eps", cases,
-                                                 options.value());
-  if (!status.ok()) {
-    std::fprintf(stderr, "%s\n", status.ToString().c_str());
-    return 1;
-  }
-  return 0;
+  return ltc::exp::SuiteMain(argc, argv, {"fig4_epsilon"});
 }

@@ -3,50 +3,14 @@
 //
 // The default laptop scale divides the counts by 50 (a 1/10 scale of this
 // sweep still reaches |T| = 10000 under MCF-LTC's flow solves, which is
-// minutes of work; the paper itself reports MCF-LTC "becomes inefficient
-// with very large numbers of tasks"). Pass --paper for the full factors, or
-// --skip=MCF-LTC to sweep only the online algorithms at larger sizes.
+// minutes of work). Pass --paper for the full factors, or --skip=MCF-LTC to
+// sweep only the online algorithms at larger sizes.
 //
+// Thin wrapper: equivalent to  bench_suite --figure=fig4_scalability
 // Run:  ./build/bench/bench_fig4_scalability [--paper] [--reps=30]
 
-#include <cmath>
-#include <cstdio>
-
-#include "bench/bench_util.h"
-#include "gen/synthetic.h"
+#include "exp/suite_main.h"
 
 int main(int argc, char** argv) {
-  auto options = ltc::bench::ParseBenchFlags(argc, argv);
-  if (!options.ok()) {
-    std::fprintf(stderr, "%s\n", options.status().ToString().c_str());
-    return options.status().IsFailedPrecondition() ? 0 : 1;
-  }
-
-  const double scale = ltc::bench::PaperScale() ? 1.0 : 0.02;
-  std::vector<ltc::bench::BenchCase> cases;
-  for (std::int64_t paper_tasks :
-       {10000, 20000, 30000, 40000, 50000, 100000}) {
-    const auto tasks = static_cast<std::int64_t>(
-        std::llround(static_cast<double>(paper_tasks) * scale));
-    const auto workers =
-        static_cast<std::int64_t>(std::llround(400000.0 * scale));
-    cases.push_back(ltc::bench::BenchCase{
-        ltc::StrFormat("%lld", static_cast<long long>(paper_tasks)),
-        [tasks, workers, scale](std::uint64_t seed) {
-          ltc::gen::SyntheticConfig cfg;  // Table IV bold values
-          cfg.num_tasks = tasks;
-          cfg.num_workers = workers;
-          cfg.grid_side = 1000.0 * std::sqrt(scale);
-          cfg.seed = seed;
-          return ltc::gen::GenerateSynthetic(cfg);
-        }});
-  }
-
-  const auto status = ltc::bench::RunFigureBench("fig4_scalability", "|T|",
-                                                 cases, options.value());
-  if (!status.ok()) {
-    std::fprintf(stderr, "%s\n", status.ToString().c_str());
-    return 1;
-  }
-  return 0;
+  return ltc::exp::SuiteMain(argc, argv, {"fig4_scalability"});
 }

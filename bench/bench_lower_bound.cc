@@ -6,74 +6,11 @@
 // run is pinned by the straggler supply bound — the regime where all
 // policies tie (see EXPERIMENTS.md).
 //
-// Run:  ./build/bench/bench_lower_bound [--reps=3]
+// Thin wrapper: equivalent to  bench_suite --figure=lower_bound
+// Run:  ./build/bench/bench_lower_bound [--reps=3] [--threads=N]
 
-#include <cstdio>
-#include <map>
-
-#include "algo/lower_bound.h"
-#include "algo/registry.h"
-#include "bench/bench_util.h"
-#include "common/table.h"
-#include "gen/synthetic.h"
-#include "model/eligibility.h"
-#include "sim/engine.h"
+#include "exp/suite_main.h"
 
 int main(int argc, char** argv) {
-  auto options = ltc::bench::ParseBenchFlags(argc, argv);
-  if (!options.ok()) {
-    std::fprintf(stderr, "%s\n", options.status().ToString().c_str());
-    return options.status().IsFailedPrecondition() ? 0 : 1;
-  }
-
-  const auto roster = ltc::algo::StandardAlgorithms();
-  std::vector<std::string> header = {"|T|", "supplyLB", "workLB"};
-  for (const auto& name : roster) header.push_back(name + " gap");
-  ltc::TablePrinter table(header);
-
-  for (std::int64_t paper_tasks : {1000, 2000, 3000, 4000, 5000}) {
-    const std::int64_t tasks = ltc::bench::ScaledCount(paper_tasks);
-    double supply_sum = 0;
-    double work_sum = 0;
-    std::map<std::string, double> gap_sum;
-    for (std::int64_t rep = 0; rep < options->reps; ++rep) {
-      ltc::gen::SyntheticConfig cfg = ltc::bench::BaseSyntheticConfig();
-      cfg.num_tasks = tasks;
-      cfg.seed = options->seed + static_cast<std::uint64_t>(rep) * 449;
-      auto instance = ltc::gen::GenerateSynthetic(cfg);
-      instance.status().CheckOK();
-      auto index = ltc::model::EligibilityIndex::Build(&instance.value());
-      index.status().CheckOK();
-      auto bound = ltc::algo::ComputeLowerBound(*instance, *index);
-      bound.status().CheckOK();
-      supply_sum += static_cast<double>(bound->supply_bound);
-      work_sum += static_cast<double>(bound->work_bound);
-      for (const auto& name : roster) {
-        auto metrics = ltc::sim::RunAlgorithm(name, *instance, *index);
-        metrics.status().CheckOK();
-        if (metrics->completed && bound->combined > 0) {
-          gap_sum[name] += static_cast<double>(metrics->latency) /
-                           static_cast<double>(bound->combined);
-        }
-      }
-    }
-    const double reps = static_cast<double>(options->reps);
-    std::vector<std::string> row = {
-        ltc::StrFormat("%lld", static_cast<long long>(paper_tasks)),
-        ltc::StrFormat("%.1f", supply_sum / reps),
-        ltc::StrFormat("%.1f", work_sum / reps)};
-    for (const auto& name : roster) {
-      row.push_back(ltc::StrFormat("%.2f", gap_sum[name] / reps));
-    }
-    table.AddRow(row);
-  }
-  std::printf("\n-- gap to the instance lower bound (latency / LB) --\n%s",
-              table.Render().c_str());
-  const auto status =
-      table.WriteCsv(options->out_dir + "/lower_bound_gaps.csv");
-  if (!status.ok()) {
-    std::fprintf(stderr, "%s\n", status.ToString().c_str());
-    return 1;
-  }
-  return 0;
+  return ltc::exp::SuiteMain(argc, argv, {"lower_bound"});
 }

@@ -3,77 +3,11 @@
 // majority voting vs EM truth inference with *unknown* worker accuracies
 // (the alternative its Sec. VI-A cites).
 //
-// Run:  ./build/bench/bench_truth [--reps=3]
+// Thin wrapper: equivalent to  bench_suite --figure=truth
+// Run:  ./build/bench/bench_truth [--reps=3] [--threads=N]
 
-#include <cstdio>
-
-#include "algo/registry.h"
-#include "bench/bench_util.h"
-#include "common/table.h"
-#include "gen/synthetic.h"
-#include "model/eligibility.h"
-#include "model/truth_inference.h"
+#include "exp/suite_main.h"
 
 int main(int argc, char** argv) {
-  auto options = ltc::bench::ParseBenchFlags(argc, argv);
-  if (!options.ok()) {
-    std::fprintf(stderr, "%s\n", options.status().ToString().c_str());
-    return options.status().IsFailedPrecondition() ? 0 : 1;
-  }
-
-  ltc::TablePrinter table({"eps", "majority", "weighted(paper)", "EM",
-                           "EM iters"});
-  for (double epsilon : {0.06, 0.10, 0.14, 0.18, 0.22}) {
-    double majority_sum = 0;
-    double weighted_sum = 0;
-    double em_sum = 0;
-    double em_iters = 0;
-    for (std::int64_t rep = 0; rep < options->reps; ++rep) {
-      ltc::gen::SyntheticConfig cfg = ltc::bench::BaseSyntheticConfig();
-      cfg.num_tasks = ltc::bench::ScaledCount(1000);
-      cfg.num_workers = ltc::bench::ScaledCount(20000);
-      cfg.epsilon = epsilon;
-      cfg.seed = options->seed + static_cast<std::uint64_t>(rep) * 613;
-      auto instance = ltc::gen::GenerateSynthetic(cfg);
-      instance.status().CheckOK();
-      auto index = ltc::model::EligibilityIndex::Build(&instance.value());
-      index.status().CheckOK();
-      auto scheduler = ltc::algo::MakeOnlineScheduler("AAM", cfg.seed);
-      scheduler.status().CheckOK();
-      (*scheduler)->Init(*instance, *index).CheckOK();
-      std::vector<ltc::model::TaskId> assigned;
-      for (const auto& w : instance->workers) {
-        if ((*scheduler)->Done()) break;
-        (*scheduler)->OnArrival(w, &assigned).CheckOK();
-      }
-      auto answers = ltc::model::SimulateAnswers(
-          *instance, (*scheduler)->arrangement(), cfg.seed + 7);
-      answers.status().CheckOK();
-      auto majority = ltc::model::MajorityVote(*instance, *answers);
-      auto weighted = ltc::model::WeightedVote(*instance, *answers);
-      auto em = ltc::model::EmTruthInference(*instance, *answers);
-      majority.status().CheckOK();
-      weighted.status().CheckOK();
-      em.status().CheckOK();
-      majority_sum += majority->error_rate;
-      weighted_sum += weighted->error_rate;
-      em_sum += em->error_rate;
-      em_iters += static_cast<double>(em->iterations);
-    }
-    const double reps = static_cast<double>(options->reps);
-    table.AddRow({ltc::StrFormat("%.2f", epsilon),
-                  ltc::StrFormat("%.5f", majority_sum / reps),
-                  ltc::StrFormat("%.5f", weighted_sum / reps),
-                  ltc::StrFormat("%.5f", em_sum / reps),
-                  ltc::StrFormat("%.1f", em_iters / reps)});
-  }
-  std::printf("\n-- truth inference: per-task error rate by aggregation "
-              "method --\n%s",
-              table.Render().c_str());
-  const auto status = table.WriteCsv(options->out_dir + "/truth_methods.csv");
-  if (!status.ok()) {
-    std::fprintf(stderr, "%s\n", status.ToString().c_str());
-    return 1;
-  }
-  return 0;
+  return ltc::exp::SuiteMain(argc, argv, {"truth"});
 }

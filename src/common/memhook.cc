@@ -9,6 +9,12 @@ namespace {
 std::atomic<std::uint64_t> g_current{0};
 std::atomic<std::uint64_t> g_peak{0};
 std::atomic<bool> g_active{false};
+
+// Per-thread net/peak. Trivially-destructible PODs so the accessors stay
+// safe even from allocations during thread teardown; signed because a
+// thread may free blocks another thread allocated.
+thread_local std::int64_t t_net = 0;
+thread_local std::int64_t t_peak = 0;
 }  // namespace
 
 std::uint64_t CurrentBytes() {
@@ -22,6 +28,12 @@ void ResetPeak() {
                std::memory_order_relaxed);
 }
 
+std::int64_t ThreadNetBytes() { return t_net; }
+
+std::int64_t ThreadPeakBytes() { return t_peak; }
+
+void ResetThreadPeak() { t_peak = t_net; }
+
 bool Active() { return g_active.load(std::memory_order_relaxed); }
 
 namespace internal {
@@ -34,10 +46,13 @@ void RecordAlloc(std::size_t size) {
   while (now > peak &&
          !g_peak.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
   }
+  t_net += static_cast<std::int64_t>(size);
+  if (t_net > t_peak) t_peak = t_net;
 }
 
 void RecordFree(std::size_t size) {
   g_current.fetch_sub(size, std::memory_order_relaxed);
+  t_net -= static_cast<std::int64_t>(size);
 }
 
 void MarkActive() { g_active.store(true, std::memory_order_relaxed); }

@@ -1,0 +1,60 @@
+// A fixed-size worker pool over a FIFO task queue, the concurrency substrate
+// of the experiment subsystem (exp::SweepRunner) and any future batch/async
+// path.
+//
+// Tasks start in submission order (strict FIFO), which callers may rely on
+// for dependency layering: if every task of wave A is submitted before any
+// task of wave B, a wave-B task that blocks on a wave-A future can only ever
+// wait on a task that is already running, never on one stuck behind it in
+// the queue — no deadlock, at any pool size.
+
+#ifndef LTC_COMMON_THREAD_POOL_H_
+#define LTC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ltc {
+
+/// \brief Fixed-size thread pool over a FIFO task queue.
+///
+/// Submit returns a std::future<void> that becomes ready when the task
+/// finishes and rethrows from get() any exception the task threw, so worker
+/// exceptions are never silently swallowed. The destructor drains the queue
+/// (every submitted task runs) before joining the workers.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; values < 1 are clamped to 1.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn`. Tasks start in submission order across the pool.
+  std::future<void> Submit(std::function<void()> fn);
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Hardware concurrency, clamped to >= 1 (hardware_concurrency may
+  /// report 0 on exotic platforms).
+  static int DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;  // guarded by mu_
+  bool stop_ = false;                             // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ltc
+
+#endif  // LTC_COMMON_THREAD_POOL_H_

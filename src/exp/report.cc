@@ -1,0 +1,125 @@
+#include "exp/report.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "common/table.h"
+
+namespace ltc {
+namespace exp {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string SuiteResultJson(const SuiteResult& result, bool include_timing) {
+  std::string json = StrFormat(
+      "{\n  \"figure\": \"%s\",\n  \"factor\": \"%s\",\n"
+      "  \"paper_scale\": %s,\n  \"reps\": %lld,\n  \"seed\": %llu,\n"
+      "  \"cases\": [\n",
+      JsonEscape(result.suite).c_str(), JsonEscape(result.factor).c_str(),
+      result.paper_scale ? "true" : "false",
+      static_cast<long long>(result.reps),
+      static_cast<unsigned long long>(result.seed));
+  bool first_case = true;
+  for (const CaseResult& case_result : result.cases) {
+    json += StrFormat("%s    {\"label\": \"%s\", \"algorithms\": [\n",
+                      first_case ? "" : ",\n",
+                      JsonEscape(case_result.label).c_str());
+    first_case = false;
+    bool first_algo = true;
+    for (const AlgoResult& algo : case_result.algorithms) {
+      const sim::AggregateMetrics& a = algo.aggregate;
+      const double runtime = include_timing ? a.mean_runtime_seconds : 0.0;
+      const double memory_mib =
+          include_timing ? a.mean_peak_memory_bytes / (1024.0 * 1024.0) : 0.0;
+      json += StrFormat(
+          "%s      {\"name\": \"%s\", \"mean_latency\": %.3f, "
+          "\"mean_runtime_seconds\": %.6f, \"mean_peak_memory_mib\": %.3f, "
+          "\"completed_runs\": %lld, \"runs\": %lld}",
+          first_algo ? "" : ",\n", JsonEscape(algo.name).c_str(),
+          a.mean_latency, runtime, memory_mib,
+          static_cast<long long>(a.completed_runs),
+          static_cast<long long>(a.runs));
+      first_algo = false;
+    }
+    json += "\n    ]}";
+  }
+  json += "\n  ]\n}\n";
+  return json;
+}
+
+Status WriteSuiteReport(const SuiteResult& result,
+                        const OutputOptions& options) {
+  std::vector<std::string> header = {result.factor};
+  if (!result.cases.empty()) {
+    for (const AlgoResult& algo : result.cases.front().algorithms) {
+      header.push_back(algo.name);
+    }
+  }
+  TablePrinter latency_table(header);
+  TablePrinter runtime_table(header);
+  TablePrinter memory_table(header);
+  TablePrinter completion_table(header);
+
+  for (const CaseResult& case_result : result.cases) {
+    std::vector<std::string> latency_row = {case_result.label};
+    std::vector<std::string> runtime_row = {case_result.label};
+    std::vector<std::string> memory_row = {case_result.label};
+    std::vector<std::string> completion_row = {case_result.label};
+    for (const AlgoResult& algo : case_result.algorithms) {
+      const sim::AggregateMetrics& a = algo.aggregate;
+      latency_row.push_back(StrFormat("%.1f", a.mean_latency));
+      runtime_row.push_back(StrFormat("%.4f", a.mean_runtime_seconds));
+      memory_row.push_back(
+          StrFormat("%.2f", a.mean_peak_memory_bytes / (1024.0 * 1024.0)));
+      completion_row.push_back(
+          StrFormat("%lld/%lld", static_cast<long long>(a.completed_runs),
+                    static_cast<long long>(a.runs)));
+    }
+    latency_table.AddRow(latency_row);
+    runtime_table.AddRow(runtime_row);
+    memory_table.AddRow(memory_row);
+    completion_table.AddRow(completion_row);
+  }
+
+  if (options.print_tables) {
+    std::printf("\n-- %s: latency (mean max worker index) --\n%s",
+                result.suite.c_str(), latency_table.Render().c_str());
+    std::printf("\n-- %s: runtime (mean seconds) --\n%s", result.suite.c_str(),
+                runtime_table.Render().c_str());
+    std::printf("\n-- %s: peak memory (mean MiB) --\n%s", result.suite.c_str(),
+                memory_table.Render().c_str());
+    std::printf("\n-- %s: completed runs --\n%s\n", result.suite.c_str(),
+                completion_table.Render().c_str());
+  }
+
+  LTC_RETURN_IF_ERROR(latency_table.WriteCsv(options.out_dir + "/" +
+                                             result.suite + "_latency.csv"));
+  LTC_RETURN_IF_ERROR(runtime_table.WriteCsv(options.out_dir + "/" +
+                                             result.suite + "_runtime.csv"));
+  LTC_RETURN_IF_ERROR(
+      memory_table.WriteCsv(options.out_dir + "/" + result.suite +
+                            "_memory.csv"));
+  return Status::OK();
+}
+
+}  // namespace exp
+}  // namespace ltc

@@ -1,0 +1,51 @@
+// Rendering of SweepRunner results: the three paper-style tables (latency /
+// runtime / peak memory) plus completion counts, the per-figure CSVs under
+// results/, and the machine-readable JSON summary — the format of the
+// checked-in BENCH_*.json perf baselines that tools/bench_compare.py gates
+// CI with.
+
+#ifndef LTC_EXP_REPORT_H_
+#define LTC_EXP_REPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "exp/sweep.h"
+
+namespace ltc {
+namespace exp {
+
+/// Output configuration, resolved from the bench_suite flags.
+struct OutputOptions {
+  std::string out_dir = "results";
+  /// When non-empty, SuiteMain writes the JSON summary here (one suite:
+  /// the object verbatim; several: wrapped in {"suites": [...]}).
+  std::string json_path;
+  /// Print the tables and progress lines to stdout.
+  bool print_tables = true;
+};
+
+/// Renders one sweep as the BENCH_*.json summary object:
+/// {figure, factor, paper_scale, reps, seed, cases: [{label, algorithms:
+/// [{name, mean_latency, mean_runtime_seconds, mean_peak_memory_mib,
+/// completed_runs, runs}]}]}.
+///
+/// With include_timing = false the runtime/memory fields are rendered as 0 —
+/// the byte-comparable form the --threads determinism contract (and its
+/// test) is stated over, since wall-clock and per-thread peaks are the only
+/// schedule-dependent fields.
+std::string SuiteResultJson(const SuiteResult& result,
+                            bool include_timing = true);
+
+/// Prints the four tables (when options.print_tables) and writes
+/// <out_dir>/<suite>_{latency,runtime,memory}.csv.
+Status WriteSuiteReport(const SuiteResult& result,
+                        const OutputOptions& options);
+
+/// JSON string escaping shared by the emitters.
+std::string JsonEscape(const std::string& s);
+
+}  // namespace exp
+}  // namespace ltc
+
+#endif  // LTC_EXP_REPORT_H_

@@ -1,0 +1,25 @@
+// The shared main() behind the one bench_suite driver and the thin
+// per-figure bench wrappers. Parses the common experiment flags
+// (--figure/--threads/--reps/--seed/--paper/--skip/--cases/--out_dir/--json/
+// --trials/--list), resolves suite labels through the exp registry, runs
+// them, and assembles the JSON summary file.
+
+#ifndef LTC_EXP_SUITE_MAIN_H_
+#define LTC_EXP_SUITE_MAIN_H_
+
+#include <string>
+#include <vector>
+
+namespace ltc {
+namespace exp {
+
+/// Runs the suites named by `fixed_labels`, or — when empty (bench_suite) —
+/// those named by --figure (comma-separated labels, or "all"). Returns the
+/// process exit code.
+int SuiteMain(int argc, char** argv,
+              const std::vector<std::string>& fixed_labels = {});
+
+}  // namespace exp
+}  // namespace ltc
+
+#endif  // LTC_EXP_SUITE_MAIN_H_

@@ -1,0 +1,314 @@
+#include "exp/sweep.h"
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <utility>
+
+#include "algo/registry.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace ltc {
+namespace exp {
+
+std::uint64_t RepSeed(std::uint64_t base, std::int64_t rep) {
+  return base + static_cast<std::uint64_t>(rep) * 7919;
+}
+
+std::vector<SuiteAlgo> NamedRoster(const std::vector<std::string>& names) {
+  std::vector<SuiteAlgo> roster;
+  roster.reserve(names.size());
+  for (const std::string& name : names) {
+    roster.push_back(SuiteAlgo{name, nullptr});
+  }
+  return roster;
+}
+
+std::vector<SuiteAlgo> StandardRoster() {
+  return NamedRoster(algo::StandardAlgorithms());
+}
+
+SweepRunner::SweepRunner(const SweepOptions& options) : options_(options) {}
+
+int SweepRunner::threads() const {
+  return options_.threads <= 0 ? ThreadPool::DefaultThreads()
+                               : options_.threads;
+}
+
+StatusOr<std::vector<SuiteCase>> SweepRunner::FilterCases(
+    const std::vector<SuiteCase>& cases) const {
+  std::vector<SuiteCase> selected;
+  for (const SuiteCase& suite_case : cases) {
+    bool keep = options_.case_filter.empty();
+    for (const std::string& label : options_.case_filter) {
+      keep |= (label == suite_case.label);
+    }
+    if (keep) selected.push_back(suite_case);
+  }
+  if (selected.empty()) {
+    return Status::InvalidArgument("--cases matched no case label");
+  }
+  return selected;
+}
+
+StatusOr<std::vector<SuiteAlgo>> SweepRunner::FilterAlgorithms(
+    const std::vector<SuiteAlgo>& algorithms) const {
+  std::vector<SuiteAlgo> roster;
+  for (const SuiteAlgo& algorithm : algorithms) {
+    bool skipped = false;
+    for (const std::string& skip : options_.skip) {
+      skipped |= (skip == algorithm.name);
+    }
+    if (!skipped) roster.push_back(algorithm);
+  }
+  if (roster.empty()) {
+    return Status::InvalidArgument("all algorithms skipped");
+  }
+  return roster;
+}
+
+namespace {
+
+/// One (case, rep) pair: instance + index generated exactly once, shared
+/// read-only by that pair's algorithm cells, freed when the last cell done.
+struct InstanceSlot {
+  std::unique_ptr<model::ProblemInstance> instance;
+  std::unique_ptr<model::EligibilityIndex> index;
+  Status status;
+  /// Becomes ready when generation finished (ok or not). Cells wait on it;
+  /// FIFO submission order (ThreadPool contract) makes the wait safe.
+  std::shared_future<void> ready;
+  /// Cells left to run on this slot; the payload is freed when it hits 0 so
+  /// a long sweep holds at most ~threads slots' instances alive.
+  std::atomic<std::int64_t> pending{0};
+
+  void Generate(const SuiteCase& suite_case, std::uint64_t seed) {
+    auto generated = suite_case.make(seed);
+    if (!generated.ok()) {
+      status = generated.status();
+      return;
+    }
+    instance =
+        std::make_unique<model::ProblemInstance>(std::move(generated).value());
+    auto built = model::EligibilityIndex::Build(instance.get());
+    if (!built.ok()) {
+      status = built.status();
+      instance.reset();
+      return;
+    }
+    index = std::make_unique<model::EligibilityIndex>(std::move(built).value());
+  }
+
+  /// Marks generation as failed (e.g. it threw) so cells see an error
+  /// Status instead of a half-built payload.
+  void Poison(std::string message) {
+    index.reset();
+    instance.reset();
+    status = Status::Internal(std::move(message));
+  }
+
+  void FinishCell() {
+    if (pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      index.reset();
+      instance.reset();
+    }
+  }
+};
+
+}  // namespace
+
+StatusOr<SuiteResult> SweepRunner::Run(const Suite& suite) const {
+  if (options_.reps <= 0) {
+    return Status::InvalidArgument("--reps must be positive");
+  }
+  LTC_ASSIGN_OR_RETURN(std::vector<SuiteCase> cases, FilterCases(suite.cases));
+  LTC_ASSIGN_OR_RETURN(std::vector<SuiteAlgo> algorithms,
+                       FilterAlgorithms(suite.algorithms));
+  const std::size_t num_cases = cases.size();
+  const std::size_t num_algos = algorithms.size();
+  const auto reps = static_cast<std::size_t>(options_.reps);
+
+  struct Cell {
+    sim::RunMetrics metrics;
+    Status status;
+  };
+  // cells[(c * num_algos + a) * reps + r]: preallocated, index-addressed —
+  // concurrent cells never touch each other's slot.
+  std::vector<Cell> cells(num_cases * num_algos * reps);
+  std::vector<std::unique_ptr<InstanceSlot>> slots;
+  slots.reserve(num_cases * reps);
+  for (std::size_t i = 0; i < num_cases * reps; ++i) {
+    slots.push_back(std::make_unique<InstanceSlot>());
+    slots.back()->pending.store(static_cast<std::int64_t>(num_algos),
+                                std::memory_order_relaxed);
+  }
+
+  Stopwatch watch;
+  ThreadPool pool(threads());
+
+  // Per-slot interleaving: each slot's generation task is submitted
+  // immediately before that slot's cells. FIFO keeps the wait safe (a cell
+  // can only ever block on a generation already in flight) and — unlike
+  // submitting all generations first — bounds resident instances: cells of
+  // slot k are queued ahead of generation k+1, so only ~threads slots'
+  // instances are alive at once, matching the serial harness's footprint
+  // up to the pool width.
+  std::vector<std::future<void>> cell_futures;
+  cell_futures.reserve(cells.size());
+  for (std::size_t c = 0; c < num_cases; ++c) {
+    for (std::size_t r = 0; r < reps; ++r) {
+      InstanceSlot* slot = slots[c * reps + r].get();
+      const SuiteCase* suite_case = &cases[c];
+      const std::uint64_t seed =
+          RepSeed(options_.seed, static_cast<std::int64_t>(r));
+      slot->ready =
+          pool.Submit([slot, suite_case, seed] {
+                try {
+                  slot->Generate(*suite_case, seed);
+                } catch (const std::exception& e) {
+                  slot->Poison(std::string("instance generation threw: ") +
+                               e.what());
+                } catch (...) {
+                  slot->Poison("instance generation threw");
+                }
+              })
+              .share();
+      for (std::size_t a = 0; a < num_algos; ++a) {
+        Cell* cell = &cells[(c * num_algos + a) * reps + r];
+        const SuiteAlgo* algorithm = &algorithms[a];
+        const bool validate = options_.validate;
+        cell_futures.push_back(pool.Submit([slot, cell, algorithm, seed,
+                                            validate] {
+          slot->ready.wait();
+          if (!slot->status.ok()) {
+            cell->status = slot->status;
+          } else {
+            try {
+              sim::EngineOptions engine_options;
+              engine_options.seed = seed;
+              engine_options.validate = validate;
+              auto metrics =
+                  algorithm->run
+                      ? algorithm->run(*slot->instance, *slot->index,
+                                       engine_options)
+                      : sim::RunAlgorithm(algorithm->name, *slot->instance,
+                                          *slot->index, engine_options);
+              if (metrics.ok()) {
+                cell->metrics = std::move(metrics).value();
+              } else {
+                cell->status = metrics.status();
+              }
+            } catch (const std::exception& e) {
+              cell->status =
+                  Status::Internal(std::string("cell threw: ") + e.what());
+            } catch (...) {
+              cell->status = Status::Internal("cell threw");
+            }
+          }
+          slot->FinishCell();
+        }));
+      }
+    }
+  }
+  for (std::future<void>& future : cell_futures) future.get();
+
+  // Deterministic fold: scan cells in (case, algorithm, rep) order, failing
+  // on the first error, aggregating reps in index order.
+  SuiteResult result;
+  result.suite = suite.name;
+  result.factor = suite.factor;
+  result.paper_scale = options_.paper_scale;
+  result.reps = options_.reps;
+  result.seed = options_.seed;
+  result.threads = threads();
+  result.cases.reserve(num_cases);
+  for (std::size_t c = 0; c < num_cases; ++c) {
+    CaseResult case_result;
+    case_result.label = cases[c].label;
+    case_result.algorithms.reserve(num_algos);
+    for (std::size_t a = 0; a < num_algos; ++a) {
+      AlgoResult algo_result;
+      algo_result.name = algorithms[a].name;
+      algo_result.reps.reserve(reps);
+      for (std::size_t r = 0; r < reps; ++r) {
+        const Cell& cell = cells[(c * num_algos + a) * reps + r];
+        if (!cell.status.ok()) {
+          return cell.status.WithContext(
+              StrFormat("%s: case %s, algorithm %s, rep %lld",
+                        suite.name.c_str(), cases[c].label.c_str(),
+                        algorithms[a].name.c_str(), static_cast<long long>(r)));
+        }
+        algo_result.aggregate.Accumulate(cell.metrics);
+        algo_result.reps.push_back(cell.metrics);
+      }
+      algo_result.aggregate.Finalize();
+      case_result.algorithms.push_back(std::move(algo_result));
+    }
+    result.cases.push_back(std::move(case_result));
+  }
+  result.wall_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+Status SweepRunner::ForEachInstance(const std::vector<SuiteCase>& cases_in,
+                                    const InstanceFn& fn,
+                                    std::vector<SuiteCase>* filtered_out) const {
+  if (options_.reps <= 0) {
+    return Status::InvalidArgument("--reps must be positive");
+  }
+  LTC_ASSIGN_OR_RETURN(std::vector<SuiteCase> cases, FilterCases(cases_in));
+  if (filtered_out != nullptr) *filtered_out = cases;
+  const auto reps = static_cast<std::size_t>(options_.reps);
+
+  // Here cells and slots coincide (one fn call per (case, rep)), so each
+  // task generates, runs and frees its own instance — no sharing needed.
+  std::vector<Status> statuses(cases.size() * reps);
+  {
+    ThreadPool pool(threads());
+    std::vector<std::future<void>> futures;
+    futures.reserve(statuses.size());
+    for (std::size_t c = 0; c < cases.size(); ++c) {
+      for (std::size_t r = 0; r < reps; ++r) {
+        Status* cell_status = &statuses[c * reps + r];
+        const SuiteCase* suite_case = &cases[c];
+        const std::uint64_t seed =
+            RepSeed(options_.seed, static_cast<std::int64_t>(r));
+        futures.push_back(
+            pool.Submit([cell_status, suite_case, seed, c, r, &fn] {
+              try {
+                InstanceSlot slot;
+                slot.Generate(*suite_case, seed);
+                if (!slot.status.ok()) {
+                  *cell_status = slot.status;
+                  return;
+                }
+                *cell_status = fn(c, static_cast<std::int64_t>(r), seed,
+                                  *slot.instance, *slot.index);
+              } catch (const std::exception& e) {
+                *cell_status =
+                    Status::Internal(std::string("cell threw: ") + e.what());
+              } catch (...) {
+                *cell_status = Status::Internal("cell threw");
+              }
+            }));
+      }
+    }
+    for (std::future<void>& future : futures) future.get();
+  }
+  for (std::size_t c = 0; c < cases.size(); ++c) {
+    for (std::size_t r = 0; r < reps; ++r) {
+      const Status& status = statuses[c * reps + r];
+      if (!status.ok()) {
+        return status.WithContext(
+            StrFormat("case %s, rep %lld", cases[c].label.c_str(),
+                      static_cast<long long>(r)));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace exp
+}  // namespace ltc

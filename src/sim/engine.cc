@@ -12,26 +12,34 @@ namespace sim {
 namespace {
 
 /// Snapshots the active memory metric before a run.
+///
+/// With the memhook linked, measurement is thread-scoped: the probe tracks
+/// the calling thread's net-allocation high-water mark, so concurrent runs
+/// on an exp::SweepRunner pool each report their own peak instead of racing
+/// over one process-wide counter. Construct and read the probe on the same
+/// thread that executes the run.
 struct MemoryProbe {
   bool hooked;
-  std::uint64_t baseline;
+  std::int64_t baseline = 0;
+  std::uint64_t rss_baseline = 0;
 
   MemoryProbe() : hooked(memhook::Active()) {
     if (hooked) {
-      memhook::ResetPeak();
-      baseline = memhook::CurrentBytes();
+      memhook::ResetThreadPeak();
+      baseline = memhook::ThreadNetBytes();
     } else {
-      baseline = CurrentRssBytes();
+      rss_baseline = CurrentRssBytes();
     }
   }
 
   std::uint64_t PeakDelta() const {
     if (hooked) {
-      const std::uint64_t peak = memhook::PeakBytes();
-      return peak > baseline ? peak - baseline : 0;
+      const std::int64_t peak = memhook::ThreadPeakBytes();
+      return peak > baseline ? static_cast<std::uint64_t>(peak - baseline)
+                             : 0;
     }
     const std::uint64_t now = PeakRssBytes();
-    return now > baseline ? now - baseline : 0;
+    return now > rss_baseline ? now - rss_baseline : 0;
   }
 };
 

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <thread>
 #include <vector>
 
 namespace ltc {
@@ -75,6 +76,40 @@ TEST(MemhookTest, NothrowFormsTracked) {
   EXPECT_GE(during, before + (1 << 16));
   ::operator delete(p, std::nothrow);
   EXPECT_LE(memhook::CurrentBytes(), during - (1 << 16));
+}
+
+TEST(MemhookTest, ThreadPeakTracksOwnAllocations) {
+  memhook::ResetThreadPeak();
+  const std::int64_t baseline = memhook::ThreadNetBytes();
+  {
+    std::vector<char> buf(1 << 20);
+    g_sink = buf.data();
+    EXPECT_GE(memhook::ThreadNetBytes(), baseline + (1 << 20));
+  }
+  // Peak persists past the free; net returns to the baseline (all the
+  // allocations above were made and freed on this thread).
+  EXPECT_GE(memhook::ThreadPeakBytes(), baseline + (1 << 20));
+  EXPECT_LT(memhook::ThreadNetBytes(), baseline + (1 << 16));
+  memhook::ResetThreadPeak();
+  EXPECT_LE(memhook::ThreadPeakBytes(),
+            memhook::ThreadNetBytes() + (1 << 10));
+}
+
+TEST(MemhookTest, ThreadCountersAreIndependentAcrossThreads) {
+  memhook::ResetThreadPeak();
+  const std::int64_t peak_before = memhook::ThreadPeakBytes();
+  std::int64_t other_delta = 0;
+  std::thread worker([&other_delta] {
+    memhook::ResetThreadPeak();
+    const std::int64_t base = memhook::ThreadNetBytes();
+    std::vector<char> buf(1 << 20);
+    g_sink = buf.data();
+    other_delta = memhook::ThreadPeakBytes() - base;
+  });
+  worker.join();
+  // The worker saw its own MiB; this thread's peak did not move with it.
+  EXPECT_GE(other_delta, 1 << 20);
+  EXPECT_LE(memhook::ThreadPeakBytes(), peak_before + (1 << 16));
 }
 
 TEST(MemhookTest, PeakMonotoneUnderChurn) {

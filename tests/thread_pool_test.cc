@@ -1,0 +1,103 @@
+// Tests for the common::ThreadPool underneath exp::SweepRunner: all
+// submitted tasks complete, exceptions propagate through the returned
+// futures, FIFO start order holds, and destruction drains the queue.
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace ltc {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&count] {
+      count.fetch_add(1, std::memory_order_relaxed);
+    }));
+  }
+  for (std::future<void>& future : futures) future.get();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ClampsThreadCountToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  auto future = pool.Submit([] {});
+  future.get();
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto throwing = pool.Submit([] { throw std::runtime_error("cell failed"); });
+  EXPECT_THROW(throwing.get(), std::runtime_error);
+  // The worker that ran the throwing task keeps serving the queue.
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.Submit([&count] { ++count; }));
+  }
+  for (std::future<void>& future : futures) future.get();
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPoolTest, SingleThreadPreservesFifoOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(pool.Submit([&order, i] { order.push_back(i); }));
+  }
+  for (std::future<void>& future : futures) future.get();
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&count] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        count.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  }  // ~ThreadPool: every submitted task must have run
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrentlyAcrossWorkers) {
+  ThreadPool pool(2);
+  // Two tasks that can only finish if they overlap in time.
+  std::promise<void> first_running;
+  std::atomic<bool> second_done{false};
+  auto first = pool.Submit([&first_running, &second_done] {
+    first_running.set_value();
+    while (!second_done.load()) {
+      std::this_thread::yield();
+    }
+  });
+  first_running.get_future().wait();
+  auto second = pool.Submit([&second_done] { second_done.store(true); });
+  second.get();
+  first.get();
+  EXPECT_TRUE(second_done.load());
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1);
+}
+
+}  // namespace
+}  // namespace ltc

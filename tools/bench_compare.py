@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Gate a bench_suite --json summary against a checked-in perf baseline.
+
+Compares every (figure, case label, algorithm) triple present in BOTH the
+current summary and the baseline, and fails when the relative drift of the
+gated metric (default: mean_latency, the schedule-dependent quantity the
+determinism contract pins) exceeds the tolerance, or when either file is
+malformed, or when nothing matches at all.
+
+Accepted file shapes:
+  * a single-suite object: {"figure": ..., "cases": [...]}  (bench_suite
+    with one --figure label, and the BENCH_*.json `current` block's parent)
+  * a multi-suite wrapper: {"suites": [<object>, ...]}
+  * a baseline file whose comparable run lives under "current"
+    (BENCH_PR2.json: {"figure": ..., "current": {"cases": [...]}}).
+
+Usage:
+  tools/bench_compare.py --current bench_smoke.json --baseline BENCH_PR2.json
+  tools/bench_compare.py ... --metric mean_latency --tolerance 0.25
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(message):
+    print(f"bench_compare: FAIL: {message}")
+    sys.exit(1)
+
+
+def load_json(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as error:
+        fail(f"cannot parse {path}: {error}")
+
+
+def extract_suites(doc, path):
+    """Returns {figure_name: {(label, algo): record}} from any shape."""
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level is not a JSON object")
+    objects = doc.get("suites", [doc])
+    if not isinstance(objects, list):
+        fail(f"{path}: 'suites' is not a list")
+    suites = {}
+    for obj in objects:
+        if not isinstance(obj, dict) or "figure" not in obj:
+            fail(f"{path}: suite entry without a 'figure' field")
+        # Baselines keep the comparable run under "current".
+        body = obj.get("current", obj)
+        cases = body.get("cases")
+        if not isinstance(cases, list) or not cases:
+            fail(f"{path}: figure {obj['figure']!r} has no cases")
+        cells = {}
+        for case in cases:
+            label = case.get("label")
+            algorithms = case.get("algorithms")
+            if label is None or not isinstance(algorithms, list) or not algorithms:
+                fail(f"{path}: malformed case in figure {obj['figure']!r}")
+            for algo in algorithms:
+                if "name" not in algo:
+                    fail(f"{path}: algorithm record without 'name' "
+                         f"in figure {obj['figure']!r}")
+                cells[(label, algo["name"])] = algo
+        suites[obj["figure"]] = cells
+    return suites
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True,
+                        help="bench_suite --json output to gate")
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in BENCH_*.json baseline")
+    parser.add_argument("--metric", default="mean_latency",
+                        help="algorithm record field to diff")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="max relative drift (0.25 = 25%%)")
+    args = parser.parse_args()
+
+    current = extract_suites(load_json(args.current), args.current)
+    baseline = extract_suites(load_json(args.baseline), args.baseline)
+
+    rows = []
+    failures = []
+    for figure, base_cells in baseline.items():
+        cur_cells = current.get(figure)
+        if cur_cells is None:
+            continue
+        for key, base_algo in sorted(base_cells.items()):
+            cur_algo = cur_cells.get(key)
+            if cur_algo is None:
+                continue
+            base_value = base_algo.get(args.metric)
+            cur_value = cur_algo.get(args.metric)
+            if base_value is None or cur_value is None:
+                continue  # e.g. BENCH_PR2's 'before' block has no latency
+            if base_value == 0:
+                continue
+            drift = abs(cur_value - base_value) / abs(base_value)
+            status = "ok" if drift <= args.tolerance else "DRIFT"
+            rows.append((figure, key[0], key[1], base_value, cur_value,
+                         drift, status))
+            if drift > args.tolerance:
+                failures.append(rows[-1])
+
+    if not rows:
+        fail("no (figure, case, algorithm) triple present in both files")
+
+    header = (f"{'figure':24} {'case':>8} {'algorithm':14} "
+              f"{'baseline':>12} {'current':>12} {'drift':>8}")
+    print(header)
+    print("-" * len(header))
+    for figure, label, name, base_value, cur_value, drift, status in rows:
+        print(f"{figure:24} {label:>8} {name:14} {base_value:12.3f} "
+              f"{cur_value:12.3f} {drift:7.1%} {status}")
+
+    if failures:
+        fail(f"{len(failures)}/{len(rows)} comparison(s) exceed "
+             f"{args.tolerance:.0%} {args.metric} drift")
+    print(f"bench_compare: PASS ({len(rows)} comparison(s), "
+          f"metric={args.metric}, tolerance={args.tolerance:.0%})")
+
+
+if __name__ == "__main__":
+    main()
