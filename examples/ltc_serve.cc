@@ -1,0 +1,16 @@
+// The long-running LTC service: replays an ltc-events v1 log (or a
+// synthetic Poisson arrival stream) through svc::StreamEngine, emitting a
+// deterministic assignment log and service metrics.
+//
+//   ./build/examples/ltc_serve --synthetic --tasks=500 --workers=20000
+//       --algo=LAF --deadline=0.5 --threads=4
+//       --out=assignments.log --metrics_json=metrics.json
+//   ./build/examples/ltc_serve --events=traffic.events --algo=AAM
+//
+// The assignment log is byte-identical for every --threads value
+// (DESIGN.md §8); metrics (events/sec, latency percentiles) go to stdout
+// and --metrics_json.
+
+#include "svc/serve_main.h"
+
+int main(int argc, char** argv) { return ltc::svc::ServeMain(argc, argv); }

@@ -14,6 +14,16 @@ Status Aam::OnInit() {
   return Status::OK();
 }
 
+Status Aam::OnTaskAddedHook(model::TaskId task) {
+  // A task arriving mid-stream enters with full remaining demand delta;
+  // the lazy max heap takes the new entry through the same Update path the
+  // assignment bookkeeping uses.
+  remaining_.push_back(delta());
+  remaining_sum_ += delta();
+  max_tracker_->Update(task);
+  return Status::OK();
+}
+
 void Aam::SelectTasks(const model::Worker& worker,
                       const std::vector<model::TaskId>& candidates,
                       std::vector<model::TaskId>* out) {

@@ -55,6 +55,7 @@ class Aam : public OnlineSchedulerBase {
 
  protected:
   Status OnInit() override;
+  Status OnTaskAddedHook(model::TaskId task) override;
   void SelectTasks(const model::Worker& worker,
                    const std::vector<model::TaskId>& candidates,
                    std::vector<model::TaskId>* out) override;

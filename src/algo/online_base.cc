@@ -17,10 +17,40 @@ Status OnlineSchedulerBase::Init(const model::ProblemInstance& instance,
   return OnInit();
 }
 
+Status OnlineSchedulerBase::InitStreaming(
+    const model::ProblemInstance& instance) {
+  // No Validate() here: a stream starts empty (no tasks, no workers), which
+  // the batch validator rejects. The structural invariants — dense task ids,
+  // sequential worker indices — are maintained by the engine as it appends.
+  if (instance.accuracy == nullptr) {
+    return Status::InvalidArgument("streaming instance has no accuracy model");
+  }
+  if (!(instance.epsilon > 0.0) || !(instance.epsilon < 1.0)) {
+    return Status::InvalidArgument("streaming instance epsilon outside (0,1)");
+  }
+  instance_ = &instance;
+  index_ = nullptr;  // eligibility is the engine's job in streaming mode
+  delta_ = instance.Delta();
+  arrangement_.emplace(instance.num_tasks(), delta_);
+  return OnInit();
+}
+
+Status OnlineSchedulerBase::OnTaskAdded(model::TaskId task) {
+  if (!arrangement_.has_value()) {
+    return Status::FailedPrecondition("OnTaskAdded before InitStreaming");
+  }
+  if (static_cast<std::int64_t>(task) != arrangement_->num_tasks()) {
+    return Status::InvalidArgument(
+        "OnTaskAdded: task ids must arrive densely in order");
+  }
+  arrangement_->AddTask();
+  return OnTaskAddedHook(task);
+}
+
 Status OnlineSchedulerBase::OnArrival(const model::Worker& worker,
                                       std::vector<model::TaskId>* assigned) {
   assigned->clear();
-  if (instance_ == nullptr) {
+  if (instance_ == nullptr || index_ == nullptr) {
     return Status::FailedPrecondition("OnArrival before Init");
   }
   if (arrangement_->AllCompleted()) return Status::OK();
@@ -28,10 +58,34 @@ Status OnlineSchedulerBase::OnArrival(const model::Worker& worker,
   // Sorted: keeps arrival-time candidate order (and thus seeded Random's
   // picks) independent of the spatial index's internal cell layout.
   index_->EligibleTasksSorted(worker, &eligible_scratch_);
+  return SelectAndCommit(worker, eligible_scratch_, FilterCompleted(),
+                         assigned);
+}
+
+Status OnlineSchedulerBase::OnArrivalWithCandidates(
+    const model::Worker& worker, const std::vector<model::TaskId>& candidates,
+    std::vector<model::TaskId>* assigned) {
+  assigned->clear();
+  if (instance_ == nullptr) {
+    return Status::FailedPrecondition(
+        "OnArrivalWithCandidates before InitStreaming");
+  }
+  if (arrangement_->AllCompleted()) return Status::OK();
+  // Unconditional re-filter in streaming mode: the caller gathered
+  // `candidates` at flush time, so an earlier worker of the same batch may
+  // have completed one since. A service never re-serves a finished task —
+  // even under Random, whose batch-mode FilterCompleted() is false
+  // (DESIGN.md §8).
+  return SelectAndCommit(worker, candidates, /*filter_completed=*/true,
+                         assigned);
+}
+
+Status OnlineSchedulerBase::SelectAndCommit(
+    const model::Worker& worker, const std::vector<model::TaskId>& eligible,
+    bool filter_completed, std::vector<model::TaskId>* assigned) {
   candidates_scratch_.clear();
-  const bool filter = FilterCompleted();
-  for (model::TaskId t : eligible_scratch_) {
-    if (!filter || !arrangement_->TaskCompleted(t)) {
+  for (model::TaskId t : eligible) {
+    if (!filter_completed || !arrangement_->TaskCompleted(t)) {
       candidates_scratch_.push_back(t);
     }
   }

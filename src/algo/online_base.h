@@ -28,6 +28,15 @@ class OnlineSchedulerBase : public OnlineScheduler {
   Status OnArrival(const model::Worker& worker,
                    std::vector<model::TaskId>* assigned) override;
 
+  /// Streaming protocol: the candidate enumeration of step 2 moves to the
+  /// caller (svc::StreamEngine queries its incremental index); everything
+  /// else — filtering, SelectTasks, commitment — is shared with OnArrival.
+  Status InitStreaming(const model::ProblemInstance& instance) override;
+  Status OnTaskAdded(model::TaskId task) override;
+  Status OnArrivalWithCandidates(const model::Worker& worker,
+                                 const std::vector<model::TaskId>& candidates,
+                                 std::vector<model::TaskId>* assigned) override;
+
   bool Done() const override { return arrangement_->AllCompleted(); }
 
   const model::Arrangement& arrangement() const override {
@@ -58,6 +67,14 @@ class OnlineSchedulerBase : public OnlineScheduler {
   /// Hook invoked by Init after the base state is ready.
   virtual Status OnInit() { return Status::OK(); }
 
+  /// Hook invoked after the arrangement grew by one task (streaming);
+  /// subclasses with per-task state (AAM's remaining-demand aggregates)
+  /// extend it here.
+  virtual Status OnTaskAddedHook(model::TaskId task) {
+    (void)task;
+    return Status::OK();
+  }
+
   const model::ProblemInstance& instance() const { return *instance_; }
   const model::EligibilityIndex& index() const { return *index_; }
   std::int32_t capacity() const { return instance_->capacity; }
@@ -65,6 +82,14 @@ class OnlineSchedulerBase : public OnlineScheduler {
   const model::Arrangement& arr() const { return *arrangement_; }
 
  private:
+  /// Steps 2-4 shared by OnArrival and OnArrivalWithCandidates: drop
+  /// completed tasks from `eligible` when `filter_completed`, select, and
+  /// commit.
+  Status SelectAndCommit(const model::Worker& worker,
+                         const std::vector<model::TaskId>& eligible,
+                         bool filter_completed,
+                         std::vector<model::TaskId>* assigned);
+
   const model::ProblemInstance* instance_ = nullptr;
   const model::EligibilityIndex* index_ = nullptr;
   std::optional<model::Arrangement> arrangement_;

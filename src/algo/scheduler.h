@@ -93,6 +93,44 @@ class OnlineScheduler {
 
   /// The arrangement built so far.
   virtual const model::Arrangement& arrangement() const = 0;
+
+  // --- Streaming protocol (svc::StreamEngine; DESIGN.md §8) ---
+  //
+  // A streaming run has no complete instance up front: the engine appends
+  // tasks and workers to one growing ProblemInstance as arrival events come
+  // in, keeps an incremental spatial index over the open tasks, and hands
+  // each admitted worker its precomputed candidate set. Implementations must
+  // still base decisions only on the instance prefix seen so far. Defaults
+  // return NotImplemented so purely batch schedulers need no changes.
+
+  /// Resets all state for a streaming run over `instance`, which the caller
+  /// grows in place between calls (tasks via OnTaskAdded, workers before
+  /// their OnArrivalWithCandidates). `instance` may still be empty here.
+  virtual Status InitStreaming(const model::ProblemInstance& instance) {
+    (void)instance;
+    return Status::NotImplemented(Name() + " does not support streaming");
+  }
+
+  /// Notifies that instance.tasks grew by one; `task` is the new id and
+  /// must equal the previous task count (dense arrival order).
+  virtual Status OnTaskAdded(model::TaskId task) {
+    (void)task;
+    return Status::NotImplemented(Name() + " does not support streaming");
+  }
+
+  /// Like OnArrival, but with eligibility supplied by the caller:
+  /// `candidates` holds the worker's eligible open tasks in ascending id
+  /// order, as of the admitting batch's flush. Tasks completed by earlier
+  /// commits of the same batch are re-filtered internally.
+  virtual Status OnArrivalWithCandidates(
+      const model::Worker& worker,
+      const std::vector<model::TaskId>& candidates,
+      std::vector<model::TaskId>* assigned) {
+    (void)worker;
+    (void)candidates;
+    (void)assigned;
+    return Status::NotImplemented(Name() + " does not support streaming");
+  }
 };
 
 }  // namespace algo

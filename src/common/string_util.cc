@@ -87,6 +87,27 @@ std::string HumanDuration(double seconds) {
   return StrFormat("%.0f ns", seconds * 1e9);
 }
 
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 std::string DoubleToString(double v, int precision) {
   return StrFormat("%.*f", precision, v);
 }

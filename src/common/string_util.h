@@ -37,6 +37,10 @@ std::string HumanDuration(double seconds);
 /// Fixed-precision double ("%.*f").
 std::string DoubleToString(double v, int precision = 6);
 
+/// Escapes `s` for embedding in a JSON string literal (quotes, backslashes,
+/// newlines) — shared by the exp and svc JSON emitters.
+std::string JsonEscape(const std::string& s);
+
 /// Parses a double/int64 with full-string validation.
 bool ParseDouble(const std::string& s, double* out);
 bool ParseInt64(const std::string& s, std::int64_t* out);

@@ -8,27 +8,6 @@
 namespace ltc {
 namespace exp {
 
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        out += c;
-    }
-  }
-  return out;
-}
-
 std::string SuiteResultJson(const SuiteResult& result, bool include_timing) {
   std::string json = StrFormat(
       "{\n  \"figure\": \"%s\",\n  \"factor\": \"%s\",\n"

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "common/string_util.h"
 #include "exp/sweep.h"
 
 namespace ltc {
@@ -41,9 +42,6 @@ std::string SuiteResultJson(const SuiteResult& result,
 /// <out_dir>/<suite>_{latency,runtime,memory}.csv.
 Status WriteSuiteReport(const SuiteResult& result,
                         const OutputOptions& options);
-
-/// JSON string escaping shared by the emitters.
-std::string JsonEscape(const std::string& s);
 
 }  // namespace exp
 }  // namespace ltc

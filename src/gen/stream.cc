@@ -1,0 +1,112 @@
+#include "gen/stream.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/math_util.h"
+#include "common/random.h"
+
+namespace ltc {
+namespace gen {
+
+namespace {
+
+/// Internal ordering record: (time, generation sequence) totally orders the
+/// merged stream, so the output is deterministic even on time ties.
+struct Pending {
+  io::Event event;
+  std::int64_t seq;
+};
+
+}  // namespace
+
+StatusOr<io::EventLog> GenerateStreamEvents(const StreamConfig& cfg) {
+  if (cfg.num_tasks <= 0 || cfg.num_workers <= 0) {
+    return Status::InvalidArgument("stream: need positive |T| and |W|");
+  }
+  if (!(cfg.task_rate > 0.0) || !(cfg.worker_rate > 0.0)) {
+    return Status::InvalidArgument("stream: arrival rates must be positive");
+  }
+  if (cfg.move_fraction < 0.0 || cfg.move_fraction > 1.0) {
+    return Status::InvalidArgument("stream: move_fraction outside [0, 1]");
+  }
+  if (cfg.grid_side <= 0.0 || cfg.dmax <= 0.0) {
+    return Status::InvalidArgument("stream: grid_side and dmax must be > 0");
+  }
+  if (cfg.accuracy_floor > cfg.accuracy_ceil) {
+    return Status::InvalidArgument("stream: accuracy floor above ceiling");
+  }
+
+  Rng rng(cfg.seed);
+  io::EventLog log;
+  log.epsilon = cfg.epsilon;
+  log.capacity = cfg.capacity;
+  log.acc_min = cfg.acc_min;
+  log.accuracy = std::make_shared<model::SigmoidDistanceAccuracy>(cfg.dmax);
+
+  std::vector<Pending> pending;
+  pending.reserve(static_cast<std::size_t>(cfg.num_tasks + cfg.num_workers));
+  std::int64_t seq = 0;
+
+  // Task arrivals: cumulative exponential interarrivals at task_rate. Moved
+  // tasks re-pin after an extra exponential dwell at the same rate.
+  std::vector<double> task_times(static_cast<std::size_t>(cfg.num_tasks));
+  double clock = 0.0;
+  for (std::int64_t i = 0; i < cfg.num_tasks; ++i) {
+    clock += rng.Exponential(cfg.task_rate);
+    task_times[static_cast<std::size_t>(i)] = clock;
+    io::Event e;
+    e.kind = io::Event::Kind::kTaskArrival;
+    e.time = clock;
+    e.location = {rng.Uniform(0.0, cfg.grid_side),
+                  rng.Uniform(0.0, cfg.grid_side)};
+    pending.push_back({e, seq++});
+  }
+  for (std::int64_t i = 0; i < cfg.num_tasks; ++i) {
+    if (!rng.Bernoulli(cfg.move_fraction)) continue;
+    io::Event e;
+    e.kind = io::Event::Kind::kTaskMove;
+    e.task = static_cast<model::TaskId>(i);
+    e.time = task_times[static_cast<std::size_t>(i)] +
+             rng.Exponential(cfg.task_rate);
+    e.location = {rng.Uniform(0.0, cfg.grid_side),
+                  rng.Uniform(0.0, cfg.grid_side)};
+    pending.push_back({e, seq++});
+  }
+
+  // Worker arrivals: an independent Poisson process at worker_rate.
+  clock = 0.0;
+  for (std::int64_t i = 0; i < cfg.num_workers; ++i) {
+    clock += rng.Exponential(cfg.worker_rate);
+    io::Event e;
+    e.kind = io::Event::Kind::kWorkerArrival;
+    e.time = clock;
+    e.location = {rng.Uniform(0.0, cfg.grid_side),
+                  rng.Uniform(0.0, cfg.grid_side)};
+    double acc;
+    if (cfg.distribution == AccuracyDistribution::kNormal) {
+      acc = rng.Gaussian(cfg.accuracy_mean, cfg.accuracy_stddev);
+    } else {
+      acc = rng.Uniform(cfg.accuracy_mean - cfg.accuracy_halfwidth,
+                        cfg.accuracy_mean + cfg.accuracy_halfwidth);
+    }
+    e.accuracy = Clamp(acc, cfg.accuracy_floor, cfg.accuracy_ceil);
+    pending.push_back({e, seq++});
+  }
+
+  std::sort(pending.begin(), pending.end(),
+            [](const Pending& a, const Pending& b) {
+              if (a.event.time != b.event.time) {
+                return a.event.time < b.event.time;
+              }
+              return a.seq < b.seq;
+            });
+  log.events.reserve(pending.size());
+  for (const Pending& p : pending) log.events.push_back(p.event);
+
+  LTC_RETURN_IF_ERROR(log.Validate().WithContext("GenerateStreamEvents"));
+  return log;
+}
+
+}  // namespace gen
+}  // namespace ltc

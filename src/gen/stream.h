@@ -1,0 +1,55 @@
+// Synthetic arrival-stream generator: the Poisson source behind
+// `ltc_serve --synthetic` and bench_stream_throughput. Tasks and workers
+// arrive as independent Poisson processes (exponential interarrival times)
+// over the Table-IV world — uniform locations on the grid, historical
+// accuracies from the Normal/Uniform families of gen/synthetic.h — which is
+// the standard arrival model of real-time spatial crowdsourcing frameworks
+// (Tran et al., arXiv:1704.06868).
+
+#ifndef LTC_GEN_STREAM_H_
+#define LTC_GEN_STREAM_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "gen/synthetic.h"
+#include "io/event_log.h"
+
+namespace ltc {
+namespace gen {
+
+/// Factors of a synthetic arrival stream. Spatial/accuracy defaults match
+/// SyntheticConfig; the rates set the offered load (events per stream time
+/// unit) the batching deadline is traded against.
+struct StreamConfig {
+  std::int64_t num_tasks = 500;
+  std::int64_t num_workers = 20000;
+  /// Poisson arrival rates (expected arrivals per unit time).
+  double task_rate = 50.0;
+  double worker_rate = 400.0;
+  /// Fraction of tasks that emit one later "m" relocation event to a fresh
+  /// uniform location (0 disables; exercises GridIndex::Relocate).
+  double move_fraction = 0.0;
+  /// World + accuracy model (see gen/synthetic.h for semantics).
+  double grid_side = 1000.0;
+  double dmax = 30.0;
+  AccuracyDistribution distribution = AccuracyDistribution::kNormal;
+  double accuracy_mean = 0.86;
+  double accuracy_stddev = 0.05;
+  double accuracy_halfwidth = 0.08;
+  double accuracy_floor = 0.66;
+  double accuracy_ceil = 0.99;
+  /// Instance parameters carried in the event-log header.
+  std::int32_t capacity = 6;
+  double epsilon = 0.10;
+  double acc_min = model::kDefaultAccMin;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a time-ordered event log. Deterministic for a given config.
+StatusOr<io::EventLog> GenerateStreamEvents(const StreamConfig& cfg);
+
+}  // namespace gen
+}  // namespace ltc
+
+#endif  // LTC_GEN_STREAM_H_

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <limits>
 
+#include "common/heap.h"
+#include "common/string_util.h"
+
 namespace ltc {
 namespace geo {
 
@@ -16,6 +19,7 @@ StatusOr<GridIndex> GridIndex::Build(std::vector<Point> points,
   index.points_ = std::move(points);
   index.cell_size_ = cell_size;
   index.bounds_ = Rect::BoundingBox(index.points_);
+  index.count_ = index.points_.size();
   if (index.points_.empty()) {
     index.cells_x_ = index.cells_y_ = 1;
     index.cell_start_.assign(2, 0);
@@ -32,10 +36,7 @@ StatusOr<GridIndex> GridIndex::Build(std::vector<Point> points,
   std::vector<std::int64_t> counts(num_cells + 1, 0);
   std::vector<std::int64_t> cell_of(index.points_.size());
   for (std::size_t i = 0; i < index.points_.size(); ++i) {
-    std::int64_t cx;
-    std::int64_t cy;
-    index.CellOf(index.points_[i], &cx, &cy);
-    const std::int64_t c = cy * index.cells_x_ + cx;
+    const std::int64_t c = index.FlatCellOf(index.points_[i]);
     cell_of[i] = c;
     ++counts[static_cast<std::size_t>(c) + 1];
   }
@@ -52,11 +53,103 @@ StatusOr<GridIndex> GridIndex::Build(std::vector<Point> points,
   return index;
 }
 
-void GridIndex::CellOf(const Point& p, std::int64_t* cx, std::int64_t* cy) const {
+StatusOr<GridIndex> GridIndex::BuildDynamic(const Rect& bounds,
+                                            double cell_size) {
+  if (!(cell_size > 0.0)) {
+    return Status::InvalidArgument("GridIndex cell_size must be positive");
+  }
+  if (bounds.Width() < 0.0 || bounds.Height() < 0.0) {
+    return Status::InvalidArgument("GridIndex bounds must be non-degenerate");
+  }
+  GridIndex index;
+  index.dynamic_ = true;
+  index.cell_size_ = cell_size;
+  index.bounds_ = bounds;
+  index.cells_x_ = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(bounds.Width() / cell_size) + 1);
+  index.cells_y_ = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(bounds.Height() / cell_size) + 1);
+  index.buckets_.resize(static_cast<std::size_t>(index.cells_x_ *
+                                                 index.cells_y_));
+  return index;
+}
+
+Status GridIndex::Insert(std::int64_t id, const Point& p) {
+  if (!dynamic_) {
+    return Status::FailedPrecondition("Insert on a static GridIndex");
+  }
+  if (id < 0) return Status::InvalidArgument("GridIndex ids must be >= 0");
+  const auto slot = static_cast<std::size_t>(id);
+  if (slot < cell_of_.size() && cell_of_[slot] >= 0) {
+    return Status::InvalidArgument(
+        StrFormat("GridIndex::Insert: id %lld already present",
+                  static_cast<long long>(id)));
+  }
+  if (slot >= cell_of_.size()) {
+    cell_of_.resize(slot + 1, -1);
+    points_.resize(slot + 1);
+  }
+  const std::int64_t c = FlatCellOf(p);
+  points_[slot] = p;
+  cell_of_[slot] = c;
+  auto& bucket = buckets_[static_cast<std::size_t>(c)];
+  bucket.insert(std::lower_bound(bucket.begin(), bucket.end(), id), id);
+  ++count_;
+  return Status::OK();
+}
+
+Status GridIndex::Remove(std::int64_t id) {
+  if (!dynamic_) {
+    return Status::FailedPrecondition("Remove on a static GridIndex");
+  }
+  if (!Contains(id)) {
+    return Status::NotFound(StrFormat("GridIndex::Remove: id %lld not present",
+                                      static_cast<long long>(id)));
+  }
+  const auto slot = static_cast<std::size_t>(id);
+  auto& bucket = buckets_[static_cast<std::size_t>(cell_of_[slot])];
+  bucket.erase(std::lower_bound(bucket.begin(), bucket.end(), id));
+  cell_of_[slot] = -1;
+  --count_;
+  return Status::OK();
+}
+
+Status GridIndex::Relocate(std::int64_t id, const Point& p) {
+  if (!dynamic_) {
+    return Status::FailedPrecondition("Relocate on a static GridIndex");
+  }
+  if (!Contains(id)) {
+    return Status::NotFound(
+        StrFormat("GridIndex::Relocate: id %lld not present",
+                  static_cast<long long>(id)));
+  }
+  const auto slot = static_cast<std::size_t>(id);
+  const std::int64_t from = cell_of_[slot];
+  const std::int64_t to = FlatCellOf(p);
+  points_[slot] = p;
+  if (from == to) return Status::OK();
+  auto& old_bucket = buckets_[static_cast<std::size_t>(from)];
+  old_bucket.erase(std::lower_bound(old_bucket.begin(), old_bucket.end(), id));
+  auto& new_bucket = buckets_[static_cast<std::size_t>(to)];
+  new_bucket.insert(
+      std::lower_bound(new_bucket.begin(), new_bucket.end(), id), id);
+  cell_of_[slot] = to;
+  return Status::OK();
+}
+
+void GridIndex::CellOf(const Point& p, std::int64_t* cx,
+                       std::int64_t* cy) const {
   std::int64_t x = static_cast<std::int64_t>((p.x - bounds_.min_x) / cell_size_);
   std::int64_t y = static_cast<std::int64_t>((p.y - bounds_.min_y) / cell_size_);
   *cx = std::clamp<std::int64_t>(x, 0, cells_x_ - 1);
   *cy = std::clamp<std::int64_t>(y, 0, cells_y_ - 1);
+}
+
+std::int64_t GridIndex::FlatCellOf(const Point& p) const {
+  std::int64_t cx;
+  std::int64_t cy;
+  CellOf(p, &cx, &cy);
+  return cy * cells_x_ + cx;
 }
 
 void GridIndex::QueryRadius(const Point& center, double radius,
@@ -73,7 +166,7 @@ std::int64_t GridIndex::CountRadius(const Point& center, double radius) const {
 }
 
 std::int64_t GridIndex::Nearest(const Point& center) const {
-  if (points_.empty()) return -1;
+  if (count_ == 0) return -1;
   // Expanding ring search over cells.
   std::int64_t ccx;
   std::int64_t ccy;
@@ -95,20 +188,58 @@ std::int64_t GridIndex::Nearest(const Point& center) const {
         // Only the ring boundary (interior was visited by smaller rings).
         if (ring > 0 && std::abs(cx - ccx) != ring && std::abs(cy - ccy) != ring)
           continue;
-        const auto c = static_cast<std::size_t>(cy * cells_x_ + cx);
-        for (std::int64_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
-          const std::int64_t id = ids_[static_cast<std::size_t>(k)];
-          const double d2 =
-              SquaredDistance(points_[static_cast<std::size_t>(id)], center);
-          if (d2 < best_d2 || (d2 == best_d2 && id < best)) {
-            best_d2 = d2;
-            best = id;
-          }
-        }
+        ForEachInCell(static_cast<std::size_t>(cy * cells_x_ + cx),
+                      [&](std::int64_t id) {
+                        const double d2 = SquaredDistance(
+                            points_[static_cast<std::size_t>(id)], center);
+                        if (d2 < best_d2 || (d2 == best_d2 && id < best)) {
+                          best_d2 = d2;
+                          best = id;
+                        }
+                      });
       }
     }
   }
   return best;
+}
+
+void GridIndex::KNearest(const Point& center, std::size_t k,
+                         std::vector<std::int64_t>* out) const {
+  out->clear();
+  if (k == 0 || count_ == 0) return;
+  // Expanding ring search keeping the k best (smallest distance, then
+  // smallest id) seen so far. Scoring by -d2 makes BoundedTopK's retention
+  // rule (largest score, ties keep the smaller id) select exactly that set.
+  BoundedTopK heap(k);
+  std::int64_t ccx;
+  std::int64_t ccy;
+  CellOf(center, &ccx, &ccy);
+  const std::int64_t max_ring = std::max(cells_x_, cells_y_);
+  for (std::int64_t ring = 0; ring <= max_ring; ++ring) {
+    if (heap.size() == k) {
+      // The result cannot improve once the ring's closest possible point is
+      // farther than the worst retained candidate.
+      const double ring_min = (ring - 1) * cell_size_;
+      if (ring_min > 0 && ring_min * ring_min > -heap.PeekMin().score) break;
+    }
+    for (std::int64_t cy = ccy - ring; cy <= ccy + ring; ++cy) {
+      if (cy < 0 || cy >= cells_y_) continue;
+      for (std::int64_t cx = ccx - ring; cx <= ccx + ring; ++cx) {
+        if (cx < 0 || cx >= cells_x_) continue;
+        if (ring > 0 && std::abs(cx - ccx) != ring && std::abs(cy - ccy) != ring)
+          continue;
+        ForEachInCell(static_cast<std::size_t>(cy * cells_x_ + cx),
+                      [&](std::int64_t id) {
+                        const double d2 = SquaredDistance(
+                            points_[static_cast<std::size_t>(id)], center);
+                        heap.Push(-d2, id);
+                      });
+      }
+    }
+  }
+  for (const BoundedTopK::Item& item : heap.TakeDescending()) {
+    out->push_back(item.id);
+  }
 }
 
 }  // namespace geo

@@ -1,10 +1,23 @@
-// Uniform-grid spatial index over a static point set.
+// Uniform-grid spatial index over a point set, in two modes.
 //
 // This is the workhorse behind eligibility queries: every algorithm needs
 // "tasks within reach of this worker" per arrival, and the experiment scale
 // (|W| up to 400K, |T| up to 100K in Fig. 4b) makes brute-force scans
 // intractable. Cell size defaults to the query radius so a radius query
 // touches at most a 3x3 block of cells.
+//
+// * Static mode (Build): a CSR layout over an immutable point vector — the
+//   cache-friendly form every batch experiment uses.
+// * Dynamic mode (BuildDynamic): per-cell sorted buckets over a fixed grid
+//   geometry, supporting Insert/Remove/Relocate so a long-running service
+//   (svc::StreamEngine) can maintain the open-task set incrementally instead
+//   of rebuilding per batch. Invariants: ids are caller-assigned and unique;
+//   bucket contents stay ascending by id, so query results match an index
+//   rebuilt from scratch over the same live set (DESIGN.md §8, asserted by
+//   tests/geo_dynamic_test.cc). Points outside the construction bounds are
+//   accepted: they clamp into the boundary cells, and the query window
+//   clamps the same way, so correctness is unaffected — only boundary-cell
+//   occupancy grows.
 
 #ifndef LTC_GEO_GRID_INDEX_H_
 #define LTC_GEO_GRID_INDEX_H_
@@ -21,14 +34,43 @@
 namespace ltc {
 namespace geo {
 
-/// \brief Static uniform grid over points, supporting radius queries.
+/// \brief Uniform grid over points, supporting radius and k-NN queries.
 ///
-/// Build once from a point vector (ids are the vector indices), then query.
-/// Thread-compatible: const queries are safe concurrently.
+/// Static mode: build once from a point vector (ids are the vector indices),
+/// then query. Dynamic mode: build empty over fixed bounds, then mutate.
+/// Thread-compatible: const queries are safe concurrently; mutations require
+/// external exclusion.
 class GridIndex {
  public:
-  /// Builds an index with the given cell size. cell_size must be > 0.
+  /// Builds a static index with the given cell size. cell_size must be > 0.
   static StatusOr<GridIndex> Build(std::vector<Point> points, double cell_size);
+
+  /// Builds an empty dynamic index whose grid geometry covers `bounds` with
+  /// the given cell size (> 0). The geometry is fixed for the index's
+  /// lifetime; points outside the bounds clamp into boundary cells.
+  static StatusOr<GridIndex> BuildDynamic(const Rect& bounds, double cell_size);
+
+  /// True for BuildDynamic-built indices (the only ones accepting mutation).
+  bool dynamic() const { return dynamic_; }
+
+  /// Inserts `id` at `p`. The id must be non-negative and not present.
+  /// Dynamic mode only.
+  Status Insert(std::int64_t id, const Point& p);
+
+  /// Removes a present `id`. Dynamic mode only.
+  Status Remove(std::int64_t id);
+
+  /// Moves a present `id` to `p` (equivalent to Remove + Insert, but stays
+  /// O(1) bucket work when the point stays in its cell). Dynamic mode only.
+  Status Relocate(std::int64_t id, const Point& p);
+
+  /// True iff `id` is currently in the index.
+  bool Contains(std::int64_t id) const {
+    return dynamic_ ? id >= 0 &&
+                          static_cast<std::size_t>(id) < cell_of_.size() &&
+                          cell_of_[static_cast<std::size_t>(id)] >= 0
+                    : id >= 0 && static_cast<std::size_t>(id) < points_.size();
+  }
 
   /// Appends ids of all points within `radius` of `center` (inclusive) to
   /// *out (cleared first). Results are in cell order — ascending within a
@@ -46,37 +88,55 @@ class GridIndex {
   /// filtered counting of EligibilityIndex::CountEligible.
   template <typename Fn>
   void ForEachInRadius(const Point& center, double radius, Fn&& fn) const {
-    if (points_.empty() || radius < 0.0) return;
+    if (count_ == 0 || radius < 0.0) return;
     const double r2 = radius * radius;
-    // Cell range covering the query disk (clamped to the grid).
-    const auto lo_x = static_cast<std::int64_t>(
-        std::floor((center.x - radius - bounds_.min_x) / cell_size_));
-    const auto hi_x = static_cast<std::int64_t>(
-        std::floor((center.x + radius - bounds_.min_x) / cell_size_));
-    const auto lo_y = static_cast<std::int64_t>(
-        std::floor((center.y - radius - bounds_.min_y) / cell_size_));
-    const auto hi_y = static_cast<std::int64_t>(
-        std::floor((center.y + radius - bounds_.min_y) / cell_size_));
-    for (std::int64_t cy = std::max<std::int64_t>(0, lo_y);
-         cy <= std::min(cells_y_ - 1, hi_y); ++cy) {
-      for (std::int64_t cx = std::max<std::int64_t>(0, lo_x);
-           cx <= std::min(cells_x_ - 1, hi_x); ++cx) {
-        const auto c = static_cast<std::size_t>(cy * cells_x_ + cx);
-        for (std::int64_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
-          const std::int64_t id = ids_[static_cast<std::size_t>(k)];
-          if (SquaredDistance(points_[static_cast<std::size_t>(id)],
-                              center) <= r2) {
-            fn(id);
-          }
-        }
+    // Cell range covering the query disk. Both ends clamp into the grid:
+    // dynamic mode stores out-of-bounds points in boundary cells, so even a
+    // disk lying entirely outside the bounds must still visit the boundary
+    // row/column it clamps to (the distance check rejects non-matches).
+    const auto lo_x = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(
+            std::floor((center.x - radius - bounds_.min_x) / cell_size_)),
+        0, cells_x_ - 1);
+    const auto hi_x = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(
+            std::floor((center.x + radius - bounds_.min_x) / cell_size_)),
+        0, cells_x_ - 1);
+    const auto lo_y = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(
+            std::floor((center.y - radius - bounds_.min_y) / cell_size_)),
+        0, cells_y_ - 1);
+    const auto hi_y = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(
+            std::floor((center.y + radius - bounds_.min_y) / cell_size_)),
+        0, cells_y_ - 1);
+    for (std::int64_t cy = lo_y; cy <= hi_y; ++cy) {
+      for (std::int64_t cx = lo_x; cx <= hi_x; ++cx) {
+        ForEachInCell(static_cast<std::size_t>(cy * cells_x_ + cx),
+                      [&](std::int64_t id) {
+                        if (SquaredDistance(
+                                points_[static_cast<std::size_t>(id)],
+                                center) <= r2) {
+                          fn(id);
+                        }
+                      });
       }
     }
   }
 
-  /// Id of the nearest point to `center` (-1 if the index is empty).
+  /// Id of the nearest point to `center` (-1 if the index is empty). Ties
+  /// on distance prefer the smaller id.
   std::int64_t Nearest(const Point& center) const;
 
-  std::size_t size() const { return points_.size(); }
+  /// Fills *out (cleared first) with the ids of the up-to-`k` nearest
+  /// points, ordered by ascending (distance, id). The ordering depends only
+  /// on the live point set, never on the grid geometry, so dynamic and
+  /// rebuilt indices agree exactly.
+  void KNearest(const Point& center, std::size_t k,
+                std::vector<std::int64_t>* out) const;
+
+  /// Number of live points.
+  std::size_t size() const { return count_; }
   const Point& point(std::int64_t id) const {
     return points_[static_cast<std::size_t>(id)];
   }
@@ -87,15 +147,36 @@ class GridIndex {
   /// Grid coordinates of a point (clamped into the grid extent).
   void CellOf(const Point& p, std::int64_t* cx, std::int64_t* cy) const;
 
-  std::vector<Point> points_;
+  /// Flat cell index of a point.
+  std::int64_t FlatCellOf(const Point& p) const;
+
+  /// Invokes fn(id) for every point of cell `c`, ascending by id.
+  template <typename Fn>
+  void ForEachInCell(std::size_t c, Fn&& fn) const {
+    if (dynamic_) {
+      for (std::int64_t id : buckets_[c]) fn(id);
+      return;
+    }
+    for (std::int64_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
+      fn(ids_[static_cast<std::size_t>(k)]);
+    }
+  }
+
+  bool dynamic_ = false;
+  std::vector<Point> points_;  // indexed by id (dynamic: may contain holes)
   Rect bounds_;
   double cell_size_ = 1.0;
   std::int64_t cells_x_ = 0;
   std::int64_t cells_y_ = 0;
-  // CSR layout: ids of points in cell c live at ids_[cell_start_[c] ..
-  // cell_start_[c+1]).
+  std::size_t count_ = 0;  // live points (static: == points_.size())
+  // Static CSR layout: ids of points in cell c live at ids_[cell_start_[c]
+  // .. cell_start_[c+1]).
   std::vector<std::int64_t> cell_start_;
   std::vector<std::int64_t> ids_;
+  // Dynamic layout: buckets_[c] holds the ids of cell c, ascending;
+  // cell_of_[id] is the flat cell holding id, or -1 when absent.
+  std::vector<std::vector<std::int64_t>> buckets_;
+  std::vector<std::int64_t> cell_of_;
 };
 
 }  // namespace geo

@@ -13,7 +13,8 @@ namespace {
 
 constexpr char kHeader[] = "# ltc-workload v1";
 
-/// Identifies a serialisable accuracy model and its parameter.
+}  // namespace
+
 StatusOr<std::string> AccuracyLine(const model::AccuracyFunction& fn) {
   const std::string name = fn.Name();
   if (StartsWith(name, "sigmoid")) {
@@ -54,8 +55,6 @@ StatusOr<std::shared_ptr<const model::AccuracyFunction>> MakeAccuracy(
   }
   return Status::InvalidArgument("unknown accuracy kind '" + kind + "'");
 }
-
-}  // namespace
 
 StatusOr<std::string> SerializeInstance(
     const model::ProblemInstance& instance) {

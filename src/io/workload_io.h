@@ -19,14 +19,25 @@
 #ifndef LTC_IO_WORKLOAD_IO_H_
 #define LTC_IO_WORKLOAD_IO_H_
 
+#include <memory>
 #include <string>
 
 #include "common/status.h"
+#include "model/accuracy.h"
 #include "model/arrangement.h"
 #include "model/problem.h"
 
 namespace ltc {
 namespace io {
+
+/// Renders an accuracy model as its "accuracy <kind> <param>" line — the
+/// encoding shared by the workload and event-log (event_log.h) formats.
+/// NotImplemented for models without a serialisable form (matrix fixtures).
+StatusOr<std::string> AccuracyLine(const model::AccuracyFunction& fn);
+
+/// Inverse of AccuracyLine: builds the model named by a parsed line.
+StatusOr<std::shared_ptr<const model::AccuracyFunction>> MakeAccuracy(
+    const std::string& kind, double param);
 
 /// Serialises the instance into the v1 text format.
 StatusOr<std::string> SerializeInstance(const model::ProblemInstance& instance);

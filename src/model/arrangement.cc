@@ -31,6 +31,16 @@ void Arrangement::Add(WorkerIndex worker, TaskId task, double acc_star) {
   max_worker_index_ = std::max(max_worker_index_, worker);
 }
 
+TaskId Arrangement::AddTask() {
+  const auto id = static_cast<TaskId>(num_tasks_);
+  accumulated_.push_back(0.0);
+  ++num_tasks_;
+  // Mirror the constructor's degenerate-delta handling: a task whose target
+  // is already met counts as completed from the start.
+  if (delta_ <= kQualityTol) ++completed_tasks_;
+  return id;
+}
+
 double Arrangement::Remaining(TaskId t) const {
   return std::max(0.0, delta_ - accumulated_[static_cast<std::size_t>(t)]);
 }

@@ -38,6 +38,11 @@ class Arrangement {
   /// Invariable: there is deliberately no removal API.
   void Add(WorkerIndex worker, TaskId task, double acc_star);
 
+  /// Appends one more task (id num_tasks(), accumulated Acc* 0) — the
+  /// streaming path (svc::StreamEngine) grows the arrangement as task
+  /// arrival events come in. Returns the new task's id.
+  TaskId AddTask();
+
   /// Accumulated Acc* of a task (S[t] in the paper's pseudocode).
   double accumulated(TaskId t) const {
     return accumulated_[static_cast<std::size_t>(t)];

@@ -5,6 +5,20 @@
 namespace ltc {
 namespace model {
 
+std::optional<double> SpatialPruningCellSize(const AccuracyFunction& accuracy,
+                                             double acc_min) {
+  // Decide whether the accuracy model supports spatial pruning: probe with a
+  // perfect-accuracy worker (any worker's radius is <= this one's).
+  Worker probe;
+  probe.index = 1;
+  probe.historical_accuracy = 1.0;
+  const auto probe_radius = accuracy.EligibleRadius(probe, acc_min);
+  if (!probe_radius.has_value()) return std::nullopt;
+  // Cell size of the order of the largest query radius keeps radius
+  // queries within a 3x3 cell block; the floor guards degenerate radii.
+  return std::max(*probe_radius, 1.0);
+}
+
 StatusOr<EligibilityIndex> EligibilityIndex::Build(
     const ProblemInstance* instance) {
   if (instance == nullptr) {
@@ -13,22 +27,14 @@ StatusOr<EligibilityIndex> EligibilityIndex::Build(
   LTC_RETURN_IF_ERROR(instance->Validate());
   EligibilityIndex index(instance);
 
-  // Decide whether the accuracy model supports spatial pruning: probe with a
-  // perfect-accuracy worker (any worker's radius is <= this one's).
-  Worker probe;
-  probe.index = 1;
-  probe.historical_accuracy = 1.0;
-  const auto probe_radius =
-      instance->accuracy->EligibleRadius(probe, instance->acc_min);
-  if (probe_radius.has_value()) {
+  const auto cell =
+      SpatialPruningCellSize(*instance->accuracy, instance->acc_min);
+  if (cell.has_value()) {
     std::vector<geo::Point> locations;
     locations.reserve(instance->tasks.size());
     for (const Task& t : instance->tasks) locations.push_back(t.location);
-    // Cell size of the order of the largest query radius keeps radius
-    // queries within a 3x3 cell block; guard against degenerate radii.
-    const double cell = std::max(1e-6, std::max(*probe_radius, 1.0));
     LTC_ASSIGN_OR_RETURN(auto grid,
-                         geo::GridIndex::Build(std::move(locations), cell));
+                         geo::GridIndex::Build(std::move(locations), *cell));
     index.grid_.emplace(std::move(grid));
   }
   return index;

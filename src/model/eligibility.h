@@ -20,6 +20,16 @@
 namespace ltc {
 namespace model {
 
+/// Cell size for a spatial-pruning grid over task locations under
+/// `accuracy`: the perfect-accuracy worker's eligible radius (every
+/// worker's radius is bounded by it), floored at 1 so radius queries stay
+/// within a 3x3 cell block even for degenerate radii. nullopt when the
+/// model has no distance structure (callers fall back to scans). Shared by
+/// EligibilityIndex::Build and svc::StreamEngine so the batch and
+/// streaming grids always agree on geometry.
+std::optional<double> SpatialPruningCellSize(const AccuracyFunction& accuracy,
+                                             double acc_min);
+
 /// \brief Precomputed spatial index over an instance's task locations.
 ///
 /// Thread-compatible: concurrent const use is safe; callers own their output

@@ -1,9 +1,37 @@
 #include "sim/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace ltc {
 namespace sim {
+
+namespace {
+
+/// Nearest-rank percentile of sorted samples: the ceil(q*n)-th smallest.
+double Percentile(const std::vector<double>& sorted, double q) {
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(q * n));
+  if (rank == 0) rank = 1;
+  return sorted[std::min(rank, sorted.size()) - 1];
+}
+
+}  // namespace
+
+LatencySummary SummarizeLatencies(std::vector<double>* samples) {
+  LatencySummary out;
+  if (samples == nullptr || samples->empty()) return out;
+  std::sort(samples->begin(), samples->end());
+  out.count = static_cast<std::int64_t>(samples->size());
+  double sum = 0.0;
+  for (double v : *samples) sum += v;
+  out.mean = sum / static_cast<double>(samples->size());
+  out.p50 = Percentile(*samples, 0.50);
+  out.p95 = Percentile(*samples, 0.95);
+  out.p99 = Percentile(*samples, 0.99);
+  out.max = samples->back();
+  return out;
+}
 
 void AggregateMetrics::Accumulate(const RunMetrics& run) {
   algorithm = run.algorithm;

@@ -7,11 +7,27 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "algo/scheduler.h"
 
 namespace ltc {
 namespace sim {
+
+/// Distribution summary of a latency sample set (stream time units). The
+/// percentiles are nearest-rank over the sorted samples, so they are exact
+/// and deterministic — the form the CI stream gate compares.
+struct LatencySummary {
+  std::int64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Summarises `samples` (sorted in place; empty yields an all-zero summary).
+LatencySummary SummarizeLatencies(std::vector<double>* samples);
 
 /// Measurements of one algorithm run on one instance.
 struct RunMetrics {
@@ -27,6 +43,10 @@ struct RunMetrics {
   std::uint64_t peak_memory_bytes = 0;
   /// Copied from the scheduler's ScheduleStats.
   algo::ScheduleStats stats;
+  /// Streaming runs only (svc::StreamEngine): distribution of per-assignment
+  /// latency — commit time minus the assigned task's arrival time, in stream
+  /// time units. All-zero for batch (RunOnline/RunOffline) runs.
+  LatencySummary assignment_latency;
 };
 
 /// Aggregate of repeated runs (the paper averages 30 repetitions).

@@ -1,0 +1,228 @@
+#include "svc/serve_main.h"
+
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "gen/stream.h"
+#include "io/workload_io.h"
+
+namespace ltc {
+namespace svc {
+
+namespace {
+
+Flag<std::string> FLAG_events("events", "",
+                              "replay an ltc-events v1 log from this file");
+Flag<bool> FLAG_synthetic("synthetic", false,
+                          "generate a synthetic Poisson arrival stream "
+                          "instead of reading --events");
+Flag<std::int64_t> FLAG_tasks("tasks", 500, "--synthetic: task arrivals");
+Flag<std::int64_t> FLAG_workers("workers", 20000,
+                                "--synthetic: worker arrivals");
+Flag<double> FLAG_task_rate("task_rate", 50.0,
+                            "--synthetic: task arrivals per time unit");
+Flag<double> FLAG_worker_rate("worker_rate", 400.0,
+                              "--synthetic: worker arrivals per time unit");
+Flag<double> FLAG_move_fraction("move_fraction", 0.0,
+                                "--synthetic: fraction of tasks that "
+                                "relocate once mid-stream");
+Flag<double> FLAG_grid_side("grid_side", 1000.0,
+                            "--synthetic: world side length");
+Flag<std::string> FLAG_algo("algo", "LAF",
+                            "online scheduler to serve with (LAF, AAM, "
+                            "Random)");
+Flag<double> FLAG_deadline("deadline", 0.0,
+                           "batching deadline in stream time units "
+                           "(0 = admit every worker immediately)");
+Flag<std::int64_t> FLAG_max_batch("max_batch", 0,
+                                  "flush early at this many buffered "
+                                  "workers (0 = unbounded)");
+Flag<std::int64_t> FLAG_threads(
+    "threads", 1,
+    "candidate-gathering threads (0 = hardware concurrency); the "
+    "assignment log is byte-identical for every value");
+Flag<std::int64_t> FLAG_seed("seed", 42, "RNG seed (--synthetic and Random)");
+Flag<std::string> FLAG_out("out", "",
+                           "write the ltc-serve v1 assignment log here");
+Flag<std::string> FLAG_metrics_json("metrics_json", "",
+                                    "write the service metrics JSON here");
+Flag<std::string> FLAG_save_events("save_events", "",
+                                   "also save the (generated) event log "
+                                   "here, for later replay");
+Flag<bool> FLAG_validate("validate", true,
+                         "validate the final arrangement against every LTC "
+                         "constraint");
+
+}  // namespace
+
+StatusOr<ServeReport> RunService(const io::EventLog& log,
+                                 const StreamOptions& options) {
+  ServeReport report;
+  std::vector<StreamAssignment> assignments;
+  LTC_ASSIGN_OR_RETURN(ReplayResult replay,
+                       ReplayEventLog(log, options, &assignments));
+  report.metrics = replay.stream;
+  report.run = replay.run;
+
+  std::string& out = report.assignment_log;
+  out = "# ltc-serve v1\n";
+  out += StrFormat("# algorithm %s deadline %.17g max_batch %lld seed %llu\n",
+                   options.algorithm.c_str(), options.batch_deadline,
+                   static_cast<long long>(options.max_batch),
+                   static_cast<unsigned long long>(options.seed));
+  for (const StreamAssignment& a : assignments) {
+    out += StrFormat("a %.9g %d %d\n", a.time, a.worker, a.task);
+  }
+  out += StrFormat(
+      "# events %lld batches %lld assignments %lld completed %lld/%lld\n",
+      static_cast<long long>(report.metrics.events),
+      static_cast<long long>(report.metrics.batches),
+      static_cast<long long>(report.metrics.assignments),
+      static_cast<long long>(report.metrics.tasks_completed),
+      static_cast<long long>(report.metrics.task_events));
+  return report;
+}
+
+std::string ServeMetricsJson(const ServeReport& report) {
+  const StreamMetrics& m = report.metrics;
+  auto latency_json = [](const sim::LatencySummary& s) {
+    return StrFormat(
+        "{\"count\": %lld, \"mean\": %.6f, \"p50\": %.6f, \"p95\": %.6f, "
+        "\"p99\": %.6f, \"max\": %.6f}",
+        static_cast<long long>(s.count), s.mean, s.p50, s.p95, s.p99, s.max);
+  };
+  const double events_per_sec =
+      report.run.runtime_seconds > 0.0
+          ? static_cast<double>(m.events) / report.run.runtime_seconds
+          : 0.0;
+  std::string json = "{\n";
+  json += StrFormat("  \"algorithm\": \"%s\",\n",
+                    JsonEscape(report.run.algorithm).c_str());
+  json += StrFormat("  \"events\": %lld,\n", static_cast<long long>(m.events));
+  json += StrFormat("  \"events_per_sec\": %.1f,\n", events_per_sec);
+  json += StrFormat("  \"runtime_seconds\": %.6f,\n",
+                    report.run.runtime_seconds);
+  json += StrFormat("  \"batches\": %lld,\n",
+                    static_cast<long long>(m.batches));
+  json += StrFormat("  \"max_batch_size\": %lld,\n",
+                    static_cast<long long>(m.max_batch_size));
+  json += StrFormat("  \"assignments\": %lld,\n",
+                    static_cast<long long>(m.assignments));
+  json += StrFormat("  \"tasks_completed\": %lld,\n",
+                    static_cast<long long>(m.tasks_completed));
+  json += StrFormat("  \"open_tasks\": %lld,\n",
+                    static_cast<long long>(m.open_tasks));
+  json += StrFormat("  \"max_worker_index\": %lld,\n",
+                    static_cast<long long>(report.run.latency));
+  json += StrFormat("  \"validated\": %s,\n", m.validated ? "true" : "false");
+  json += "  \"assignment_latency\": " + latency_json(m.assignment_latency) +
+          ",\n";
+  json += "  \"completion_latency\": " + latency_json(m.completion_latency) +
+          "\n";
+  json += "}\n";
+  return json;
+}
+
+int ServeMain(int argc, char** argv) {
+  const Status parsed = ParseCommandLine(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    return parsed.IsFailedPrecondition() ? 0 : 1;
+  }
+  if (FLAG_events.Get().empty() == !FLAG_synthetic.Get()) {
+    std::fprintf(stderr,
+                 "ltc_serve: pass exactly one of --events=FILE or "
+                 "--synthetic\n");
+    return 1;
+  }
+
+  io::EventLog log;
+  if (FLAG_synthetic.Get()) {
+    gen::StreamConfig cfg;
+    cfg.num_tasks = FLAG_tasks.Get();
+    cfg.num_workers = FLAG_workers.Get();
+    cfg.task_rate = FLAG_task_rate.Get();
+    cfg.worker_rate = FLAG_worker_rate.Get();
+    cfg.move_fraction = FLAG_move_fraction.Get();
+    cfg.grid_side = FLAG_grid_side.Get();
+    cfg.seed = static_cast<std::uint64_t>(FLAG_seed.Get());
+    auto generated = gen::GenerateStreamEvents(cfg);
+    if (!generated.ok()) {
+      std::fprintf(stderr, "%s\n", generated.status().ToString().c_str());
+      return 1;
+    }
+    log = std::move(generated).value();
+  } else {
+    auto loaded = io::LoadEventLog(FLAG_events.Get());
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    log = std::move(loaded).value();
+  }
+  if (!FLAG_save_events.Get().empty()) {
+    const Status saved = io::SaveEventLog(log, FLAG_save_events.Get());
+    if (!saved.ok()) {
+      std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+      return 1;
+    }
+  }
+
+  StreamOptions options;
+  options.algorithm = FLAG_algo.Get();
+  options.batch_deadline = FLAG_deadline.Get();
+  options.max_batch = FLAG_max_batch.Get();
+  options.seed = static_cast<std::uint64_t>(FLAG_seed.Get());
+  options.threads = static_cast<int>(FLAG_threads.Get());
+  options.validate = FLAG_validate.Get();
+
+  auto report = RunService(log, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+
+  if (!FLAG_out.Get().empty()) {
+    const Status written =
+        io::WriteFile(FLAG_out.Get(), report.value().assignment_log);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+  }
+  const std::string metrics_json = ServeMetricsJson(report.value());
+  if (!FLAG_metrics_json.Get().empty()) {
+    const Status written =
+        io::WriteFile(FLAG_metrics_json.Get(), metrics_json);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+  }
+
+  const StreamMetrics& m = report.value().metrics;
+  std::printf(
+      "%s served %lld event(s): %lld batch(es), %lld assignment(s), "
+      "%lld/%lld task(s) completed in %.3fs (%.0f events/s)\n",
+      options.algorithm.c_str(), static_cast<long long>(m.events),
+      static_cast<long long>(m.batches),
+      static_cast<long long>(m.assignments),
+      static_cast<long long>(m.tasks_completed),
+      static_cast<long long>(m.task_events),
+      report.value().run.runtime_seconds,
+      report.value().run.runtime_seconds > 0.0
+          ? static_cast<double>(m.events) / report.value().run.runtime_seconds
+          : 0.0);
+  std::printf("assignment latency: mean %.3f p50 %.3f p95 %.3f p99 %.3f "
+              "(stream time units)\n",
+              m.assignment_latency.mean, m.assignment_latency.p50,
+              m.assignment_latency.p95, m.assignment_latency.p99);
+  if (FLAG_out.Get().empty()) {
+    std::printf("(pass --out=FILE to write the assignment log)\n");
+  }
+  return 0;
+}
+
+}  // namespace svc
+}  // namespace ltc

@@ -1,0 +1,48 @@
+// The shared main() behind the ltc_serve binary, plus the testable service
+// driver underneath it. RunService is what the determinism test exercises:
+// the assignment-log text it returns is a pure function of (event log,
+// algorithm, seed, deadline, max_batch) — byte-identical for every
+// --threads value (DESIGN.md §8).
+
+#ifndef LTC_SVC_SERVE_MAIN_H_
+#define LTC_SVC_SERVE_MAIN_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "io/event_log.h"
+#include "svc/stream_engine.h"
+
+namespace ltc {
+namespace svc {
+
+/// Everything one service run produces.
+struct ServeReport {
+  /// The "ltc-serve v1" assignment log: header, one "a <time> <worker>
+  /// <task>" line per commitment in commit order, and a summary trailer.
+  /// Contains no wall-clock measurement, so it is byte-comparable across
+  /// runs and thread counts.
+  std::string assignment_log;
+  StreamMetrics metrics;
+  /// The sim::RunMetrics view (includes the replay's wall-clock runtime).
+  sim::RunMetrics run;
+};
+
+/// Replays `log` through a StreamEngine under `options` and renders the
+/// assignment log.
+StatusOr<ServeReport> RunService(const io::EventLog& log,
+                                 const StreamOptions& options);
+
+/// Renders the service metrics as a JSON object (events/sec, batch and
+/// completion counters, assignment/completion latency percentiles).
+std::string ServeMetricsJson(const ServeReport& report);
+
+/// The ltc_serve entry point: parses flags, builds the event log (from
+/// --events=FILE or --synthetic), runs the service, writes --out and
+/// --metrics_json. Returns the process exit code.
+int ServeMain(int argc, char** argv);
+
+}  // namespace svc
+}  // namespace ltc
+
+#endif  // LTC_SVC_SERVE_MAIN_H_

@@ -1,0 +1,206 @@
+// The streaming service layer: an event-driven engine that turns the repo's
+// closed-world batch replay into a long-running, arrival-driven service
+// (DESIGN.md §8).
+//
+// Where sim::RunOnline replays a fully materialised ProblemInstance,
+// StreamEngine consumes worker/task *arrival events* (io::Event) one at a
+// time, grows one ProblemInstance in place, maintains an **incremental**
+// spatial index over the open tasks (geo::GridIndex dynamic mode — tasks
+// are Inserted on arrival, Removed on completion, Relocated on "m" events;
+// never rebuilt), and admits workers in micro-batches closed by a
+// configurable batching deadline. The admitted workers are driven through
+// the existing online schedulers via the streaming protocol of
+// algo/scheduler.h; per-assignment latency (commit time minus the assigned
+// task's arrival time) feeds sim::RunMetrics.
+//
+// Determinism contract: every schedule-dependent output — the assignment
+// log, per-assignment latencies, completion counts — is a function of
+// (event log, options.algorithm, options.seed) only, bit-identical for any
+// options.threads value. Candidate gathering is a pure read of flush-time
+// state fanned out over a common::ThreadPool into index-addressed slots;
+// commits happen sequentially in arrival order (the PR-3 discipline).
+
+#ifndef LTC_SVC_STREAM_ENGINE_H_
+#define LTC_SVC_STREAM_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algo/scheduler.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "geo/grid_index.h"
+#include "geo/rect.h"
+#include "io/event_log.h"
+#include "model/problem.h"
+#include "sim/metrics.h"
+
+namespace ltc {
+namespace svc {
+
+/// Service configuration.
+struct StreamOptions {
+  /// Online scheduler driven per admitted worker ("LAF", "AAM", "Random").
+  std::string algorithm = "LAF";
+  /// A batch flushes once its oldest buffered worker has waited this long
+  /// (stream time units). 0 admits every worker immediately — per-arrival
+  /// admission, the RunOnline-equivalent setting. Larger deadlines trade
+  /// worker waiting time for richer per-batch context.
+  double batch_deadline = 0.0;
+  /// Flush early when this many workers are buffered (0 = unbounded).
+  std::int64_t max_batch = 0;
+  /// Seed forwarded to seeded algorithms (Random). Never derived from
+  /// thread identity.
+  std::uint64_t seed = 42;
+  /// Candidate-gathering threads (0 = hardware concurrency). Output is
+  /// bit-identical for every value.
+  int threads = 1;
+  /// World rectangle fixing the incremental grid's geometry for the
+  /// engine's lifetime (arrivals outside it clamp into boundary cells,
+  /// which stays correct — see geo/grid_index.h). ReplayEventLog derives
+  /// this from the log; the default covers the Table-IV synthetic world.
+  geo::Rect world{0.0, 0.0, 1000.0, 1000.0};
+  /// Validate the arrangement against every LTC constraint at Finish.
+  /// Skipped (with a note in the metrics) when the stream moved tasks:
+  /// validation recomputes Acc* from final locations, which legitimately
+  /// disagrees with values committed before a move.
+  bool validate = true;
+};
+
+/// One committed assignment, in commit order — the deterministic record the
+/// ltc_serve assignment log serialises.
+struct StreamAssignment {
+  /// Batch flush (commit) time.
+  double time = 0.0;
+  model::WorkerIndex worker = 0;
+  model::TaskId task = 0;
+};
+
+/// Counters and latency distributions of one stream run.
+struct StreamMetrics {
+  std::int64_t events = 0;
+  std::int64_t task_events = 0;
+  std::int64_t worker_events = 0;
+  std::int64_t move_events = 0;
+  std::int64_t batches = 0;
+  std::int64_t max_batch_size = 0;
+  std::int64_t assignments = 0;
+  std::int64_t tasks_completed = 0;
+  /// Tasks still short of delta when the stream ended.
+  std::int64_t open_tasks = 0;
+  double last_event_time = 0.0;
+  /// Commit time minus assigned task's arrival time, per assignment.
+  sim::LatencySummary assignment_latency;
+  /// Completing commit time minus arrival time, per completed task.
+  sim::LatencySummary completion_latency;
+  /// True when Finish ran the full arrangement validation.
+  bool validated = false;
+};
+
+/// \brief The event-driven micro-batch admission engine.
+///
+/// Not movable once created: the scheduler holds a pointer to the engine's
+/// growing instance, so Create hands out a unique_ptr.
+class StreamEngine {
+ public:
+  /// Creates an engine for a stream with `header`'s instance parameters
+  /// (epsilon, capacity, acc_min, accuracy model; `header.events` is not
+  /// consumed — feed events through OnEvent).
+  static StatusOr<std::unique_ptr<StreamEngine>> Create(
+      const io::EventLog& header, const StreamOptions& options);
+
+  StreamEngine(const StreamEngine&) = delete;
+  StreamEngine& operator=(const StreamEngine&) = delete;
+
+  /// Consumes one event. Times must be non-decreasing across calls; expired
+  /// batch deadlines are flushed before the event takes effect.
+  Status OnEvent(const io::Event& event);
+
+  /// Ends the stream: flushes the open batch at its deadline, summarises
+  /// the latency distributions, and (when configured) validates the
+  /// arrangement. Call once, after the last OnEvent.
+  StatusOr<StreamMetrics> Finish();
+
+  /// The world materialised so far (grows per event).
+  const model::ProblemInstance& instance() const { return instance_; }
+  /// The arrangement committed so far.
+  const model::Arrangement& arrangement() const {
+    return scheduler_->arrangement();
+  }
+  /// Every committed assignment in commit order.
+  const std::vector<StreamAssignment>& assignments() const {
+    return assignments_;
+  }
+  /// True while the incremental grid is in use (distance-structured
+  /// accuracy model); false on the scan fallback.
+  bool spatial() const { return grid_.has_value(); }
+
+ private:
+  explicit StreamEngine(const StreamOptions& options) : options_(options) {}
+
+  Status HandleTaskArrival(const io::Event& event);
+  Status HandleWorkerArrival(const io::Event& event);
+  Status HandleTaskMove(const io::Event& event);
+
+  /// Flushes every batch whose deadline expired at or before `now`.
+  Status FlushExpired(double now);
+  /// Commits the buffered batch at `flush_time`.
+  Status FlushBatch(double flush_time);
+  /// Fills *out with `worker`'s eligible open tasks, ascending by id. Pure
+  /// read of current engine state (thread-safe during the gather fan-out).
+  void GatherCandidates(const model::Worker& worker,
+                        std::vector<model::TaskId>* out) const;
+  /// Marks completed-but-open tasks of `assigned` closed: removes them from
+  /// the incremental index and records completion latency.
+  void CloseCompleted(const std::vector<model::TaskId>& assigned,
+                      double flush_time);
+
+  StreamOptions options_;
+  model::ProblemInstance instance_;  // grows in place; never reallocated as
+                                     // a whole (schedulers hold a pointer)
+  std::unique_ptr<algo::OnlineScheduler> scheduler_;
+  std::optional<geo::GridIndex> grid_;  // open tasks; nullopt = scan fallback
+  std::vector<char> open_;              // open_[t]: arrived and below delta
+  std::vector<double> task_arrival_time_;
+
+  // Open batch: indices into instance_.workers of buffered arrivals.
+  std::vector<model::WorkerIndex> batch_;
+  double batch_open_time_ = 0.0;
+
+  std::vector<StreamAssignment> assignments_;
+  std::vector<double> assignment_latency_samples_;
+  std::vector<double> completion_latency_samples_;
+  std::vector<std::vector<model::TaskId>> gather_slots_;
+  std::vector<model::TaskId> assigned_scratch_;
+  StreamMetrics metrics_;
+  double last_event_time_ = 0.0;
+  bool finished_ = false;
+
+  // Declared last so it is destroyed first: the pool's destructor drains
+  // the queue, and any stray gather task must still find the members above
+  // alive. (FlushBatch also consumes every future before returning.)
+  std::unique_ptr<ThreadPool> pool_;  // gather fan-out (threads > 1 only)
+};
+
+/// Replays a whole event log through a fresh engine: derives the world
+/// rectangle from the log's locations (unless `options.world` is already
+/// non-degenerate... the log's bounding box always wins when it is larger),
+/// feeds every event, and finishes. When `assignments_out` is non-null it
+/// receives the deterministic assignment record.
+struct ReplayResult {
+  StreamMetrics stream;
+  /// The sim::RunMetrics view: latency = max worker index, completed,
+  /// per-assignment latency summary, runtime of the replay itself.
+  sim::RunMetrics run;
+};
+StatusOr<ReplayResult> ReplayEventLog(
+    const io::EventLog& log, const StreamOptions& options,
+    std::vector<StreamAssignment>* assignments_out = nullptr);
+
+}  // namespace svc
+}  // namespace ltc
+
+#endif  // LTC_SVC_STREAM_ENGINE_H_

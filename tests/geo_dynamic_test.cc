@@ -1,0 +1,188 @@
+// Property tests for geo::GridIndex dynamic mode: random
+// Insert/Remove/Relocate sequences must leave the index answering radius
+// and k-NN queries identically to an index rebuilt from scratch over the
+// same live point set — the invariant svc::StreamEngine's incremental
+// open-task index rests on (DESIGN.md §8).
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+#include "geo/grid_index.h"
+#include "gtest/gtest.h"
+
+namespace ltc {
+namespace geo {
+namespace {
+
+using PointMap = std::map<std::int64_t, Point>;
+
+/// Brute-force radius answer over the reference map, ascending ids.
+std::vector<std::int64_t> BruteRadius(const PointMap& points,
+                                      const Point& center, double radius) {
+  std::vector<std::int64_t> out;
+  for (const auto& [id, p] : points) {
+    if (SquaredDistance(p, center) <= radius * radius) out.push_back(id);
+  }
+  return out;
+}
+
+/// Brute-force k-NN answer: ascending (distance, id).
+std::vector<std::int64_t> BruteKNearest(const PointMap& points,
+                                        const Point& center, std::size_t k) {
+  std::vector<std::pair<double, std::int64_t>> scored;
+  for (const auto& [id, p] : points) {
+    scored.push_back({SquaredDistance(p, center), id});
+  }
+  std::sort(scored.begin(), scored.end());
+  std::vector<std::int64_t> out;
+  for (std::size_t i = 0; i < std::min(k, scored.size()); ++i) {
+    out.push_back(scored[i].second);
+  }
+  return out;
+}
+
+/// Rebuilds a dynamic index from scratch (ascending-id insertion) over the
+/// same geometry — the "rebuilt" side of the equivalence contract.
+GridIndex RebuildDynamic(const PointMap& points, const Rect& world,
+                         double cell_size) {
+  auto rebuilt = GridIndex::BuildDynamic(world, cell_size);
+  EXPECT_TRUE(rebuilt.ok());
+  for (const auto& [id, p] : points) {
+    EXPECT_TRUE(rebuilt.value().Insert(id, p).ok());
+  }
+  return std::move(rebuilt).value();
+}
+
+TEST(GridIndexDynamicTest, RandomSequencesMatchRebuiltIndex) {
+  Rng rng(20260728);
+  const Rect world{0.0, 0.0, 100.0, 100.0};
+  for (int sequence = 0; sequence < 100; ++sequence) {
+    const double cell_size = rng.Uniform(2.0, 15.0);
+    auto built = GridIndex::BuildDynamic(world, cell_size);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    GridIndex index = std::move(built).value();
+    PointMap reference;
+
+    const int ops = static_cast<int>(rng.UniformInt(20, 80));
+    for (int op = 0; op < ops; ++op) {
+      // Points deliberately stray outside the world: out-of-bounds arrivals
+      // must clamp into boundary cells without breaking any query.
+      const Point p{rng.Uniform(-15.0, 115.0), rng.Uniform(-15.0, 115.0)};
+      const double dice = rng.NextDouble();
+      if (reference.empty() || dice < 0.5) {
+        std::int64_t id = rng.UniformInt(0, 199);
+        while (reference.count(id) > 0) id = (id + 1) % 200;
+        ASSERT_TRUE(index.Insert(id, p).ok());
+        reference[id] = p;
+      } else if (dice < 0.75) {
+        auto it = reference.begin();
+        std::advance(it, rng.UniformInt(
+                             0, static_cast<std::int64_t>(reference.size()) -
+                                    1));
+        ASSERT_TRUE(index.Remove(it->first).ok());
+        reference.erase(it);
+      } else {
+        auto it = reference.begin();
+        std::advance(it, rng.UniformInt(
+                             0, static_cast<std::int64_t>(reference.size()) -
+                                    1));
+        ASSERT_TRUE(index.Relocate(it->first, p).ok());
+        it->second = p;
+      }
+    }
+
+    ASSERT_EQ(index.size(), reference.size());
+    const GridIndex rebuilt = RebuildDynamic(reference, world, cell_size);
+
+    for (int query = 0; query < 8; ++query) {
+      const Point center{rng.Uniform(-10.0, 110.0), rng.Uniform(-10.0, 110.0)};
+      const double radius = rng.Uniform(0.0, 60.0);
+
+      // Radius queries: the mutated index and the rebuilt index must agree
+      // *exactly* (same ids in the same cell-major order), and both must
+      // match brute force as a set.
+      std::vector<std::int64_t> got;
+      std::vector<std::int64_t> fresh;
+      index.QueryRadius(center, radius, &got);
+      rebuilt.QueryRadius(center, radius, &fresh);
+      EXPECT_EQ(got, fresh) << "sequence " << sequence;
+      EXPECT_EQ(index.CountRadius(center, radius),
+                static_cast<std::int64_t>(got.size()));
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, BruteRadius(reference, center, radius))
+          << "sequence " << sequence;
+
+      // k-NN: ascending (distance, id) is layout-independent, so all three
+      // agree element-wise.
+      const auto k = static_cast<std::size_t>(rng.UniformInt(1, 12));
+      std::vector<std::int64_t> knn;
+      std::vector<std::int64_t> knn_fresh;
+      index.KNearest(center, k, &knn);
+      rebuilt.KNearest(center, k, &knn_fresh);
+      EXPECT_EQ(knn, knn_fresh) << "sequence " << sequence;
+      EXPECT_EQ(knn, BruteKNearest(reference, center, k))
+          << "sequence " << sequence;
+
+      // Nearest is k-NN with k = 1.
+      const std::int64_t nearest = index.Nearest(center);
+      if (reference.empty()) {
+        EXPECT_EQ(nearest, -1);
+      } else {
+        EXPECT_EQ(nearest, BruteKNearest(reference, center, 1).front());
+      }
+    }
+  }
+}
+
+TEST(GridIndexDynamicTest, MutationErrors) {
+  auto built = GridIndex::BuildDynamic(Rect{0, 0, 10, 10}, 1.0);
+  ASSERT_TRUE(built.ok());
+  GridIndex index = std::move(built).value();
+
+  EXPECT_TRUE(index.Insert(3, {1.0, 1.0}).ok());
+  EXPECT_TRUE(index.Insert(3, {2.0, 2.0}).IsInvalidArgument());
+  EXPECT_TRUE(index.Insert(-1, {2.0, 2.0}).IsInvalidArgument());
+  EXPECT_TRUE(index.Remove(4).IsNotFound());
+  EXPECT_TRUE(index.Relocate(4, {2.0, 2.0}).IsNotFound());
+  EXPECT_TRUE(index.Remove(3).ok());
+  EXPECT_TRUE(index.Remove(3).IsNotFound());
+  EXPECT_EQ(index.size(), 0u);
+}
+
+TEST(GridIndexDynamicTest, StaticIndexRejectsMutation) {
+  auto built = GridIndex::Build({{1.0, 1.0}, {2.0, 2.0}}, 1.0);
+  ASSERT_TRUE(built.ok());
+  GridIndex index = std::move(built).value();
+  EXPECT_FALSE(index.dynamic());
+  EXPECT_TRUE(index.Insert(5, {3.0, 3.0}).IsFailedPrecondition());
+  EXPECT_TRUE(index.Remove(0).IsFailedPrecondition());
+  EXPECT_TRUE(index.Relocate(0, {3.0, 3.0}).IsFailedPrecondition());
+}
+
+TEST(GridIndexDynamicTest, StaticKNearestMatchesBruteForce) {
+  Rng rng(7);
+  std::vector<Point> points;
+  PointMap reference;
+  for (std::int64_t i = 0; i < 60; ++i) {
+    const Point p{rng.Uniform(0.0, 50.0), rng.Uniform(0.0, 50.0)};
+    points.push_back(p);
+    reference[i] = p;
+  }
+  auto built = GridIndex::Build(points, 5.0);
+  ASSERT_TRUE(built.ok());
+  const GridIndex index = std::move(built).value();
+  for (int query = 0; query < 20; ++query) {
+    const Point center{rng.Uniform(0.0, 50.0), rng.Uniform(0.0, 50.0)};
+    const auto k = static_cast<std::size_t>(rng.UniformInt(1, 70));
+    std::vector<std::int64_t> knn;
+    index.KNearest(center, k, &knn);
+    EXPECT_EQ(knn, BruteKNearest(reference, center, k));
+  }
+}
+
+}  // namespace
+}  // namespace geo
+}  // namespace ltc

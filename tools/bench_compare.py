@@ -1,15 +1,21 @@
 #!/usr/bin/env python3
-"""Gate a bench_suite --json summary against a checked-in perf baseline.
+"""Gate a bench JSON summary against a checked-in perf baseline.
 
 Compares every (figure, case label, algorithm) triple present in BOTH the
-current summary and the baseline, and fails when the relative drift of the
-gated metric (default: mean_latency, the schedule-dependent quantity the
-determinism contract pins) exceeds the tolerance, or when either file is
-malformed, or when nothing matches at all.
+current summary and the baseline, for one or more gated metrics, and fails
+when any metric's relative drift exceeds its tolerance — or when either file
+is missing or malformed, when the files share no figure, no (case,
+algorithm) cell, or no value of a gated metric. An empty comparison is
+always an error, never a pass.
+
+Metrics are arbitrary numeric fields of the algorithm records, so the
+stream bench's percentile fields (p95_assignment_latency,
+p99_assignment_latency) gate exactly like the means.
 
 Accepted file shapes:
   * a single-suite object: {"figure": ..., "cases": [...]}  (bench_suite
-    with one --figure label, and the BENCH_*.json `current` block's parent)
+    with one --figure label, bench_stream_throughput, and the
+    BENCH_*.json `current` block's parent)
   * a multi-suite wrapper: {"suites": [<object>, ...]}
   * a baseline file whose comparable run lives under "current"
     (BENCH_PR2.json: {"figure": ..., "current": {"cases": [...]}}).
@@ -17,10 +23,13 @@ Accepted file shapes:
 Usage:
   tools/bench_compare.py --current bench_smoke.json --baseline BENCH_PR2.json
   tools/bench_compare.py ... --metric mean_latency --tolerance 0.25
+  tools/bench_compare.py ... \\
+      --gate mean_assignment_latency:0.25 --gate events_per_sec:0.9:floor
 """
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -29,12 +38,15 @@ def fail(message):
     sys.exit(1)
 
 
-def load_json(path):
+def load_json(path, role):
+    if not os.path.exists(path):
+        fail(f"{role} file is missing: {path!r} — check the path, and for a "
+             f"baseline make sure the BENCH_*.json is committed")
     try:
         with open(path, "r", encoding="utf-8") as f:
             return json.load(f)
     except (OSError, ValueError) as error:
-        fail(f"cannot parse {path}: {error}")
+        fail(f"cannot parse {role} file {path}: {error}")
 
 
 def extract_suites(doc, path):
@@ -68,60 +80,128 @@ def extract_suites(doc, path):
     return suites
 
 
+def parse_gates(args):
+    """Resolves --gate METRIC[:TOL[:floor]] (repeatable) over the
+    --metric/--tolerance defaults; returns [(metric, tolerance, floor_only)].
+
+    A trailing ':floor' makes the gate one-sided: only a drop below
+    baseline*(1 - tolerance) fails. That is the right shape for
+    machine-dependent throughput metrics (events_per_sec), where a faster
+    runner — or a genuine optimisation — must never fail CI."""
+    if not args.gate:
+        return [(args.metric, args.tolerance, False)]
+    gates = []
+    for spec in args.gate:
+        parts = spec.split(":")
+        if not parts[0] or len(parts) > 3:
+            fail(f"bad --gate spec {spec!r}: expected METRIC[:TOL[:floor]]")
+        metric = parts[0]
+        tolerance = args.tolerance
+        if len(parts) >= 2:
+            try:
+                tolerance = float(parts[1])
+            except ValueError:
+                fail(f"bad --gate tolerance in {spec!r}")
+        floor_only = False
+        if len(parts) == 3:
+            if parts[2] != "floor":
+                fail(f"bad --gate mode in {spec!r}: only 'floor' is known")
+            floor_only = True
+        gates.append((metric, tolerance, floor_only))
+    return gates
+
+
 def main():
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--current", required=True,
-                        help="bench_suite --json output to gate")
+                        help="bench JSON summary to gate")
     parser.add_argument("--baseline", required=True,
                         help="checked-in BENCH_*.json baseline")
     parser.add_argument("--metric", default="mean_latency",
-                        help="algorithm record field to diff")
+                        help="algorithm record field to diff (when no --gate)")
     parser.add_argument("--tolerance", type=float, default=0.25,
-                        help="max relative drift (0.25 = 25%%)")
+                        help="max relative drift (0.25 = 25%%); the default "
+                             "for --gate specs without an explicit tolerance")
+    parser.add_argument("--gate", action="append", default=[],
+                        metavar="METRIC[:TOL[:floor]]",
+                        help="gate this metric at this tolerance; repeatable "
+                             "(e.g. --gate mean_assignment_latency:0.25 "
+                             "--gate events_per_sec:0.9:floor); a trailing "
+                             ":floor fails only on drops, never improvements")
     args = parser.parse_args()
 
-    current = extract_suites(load_json(args.current), args.current)
-    baseline = extract_suites(load_json(args.baseline), args.baseline)
+    current = extract_suites(load_json(args.current, "current"), args.current)
+    baseline = extract_suites(load_json(args.baseline, "baseline"),
+                              args.baseline)
+    gates = parse_gates(args)
 
+    shared_figures = sorted(set(baseline) & set(current))
+    if not shared_figures:
+        fail(f"no overlapping figure: baseline has {sorted(baseline)}, "
+             f"current has {sorted(current)}")
+    shared_cells = 0
     rows = []
     failures = []
-    for figure, base_cells in baseline.items():
-        cur_cells = current.get(figure)
-        if cur_cells is None:
-            continue
-        for key, base_algo in sorted(base_cells.items()):
-            cur_algo = cur_cells.get(key)
-            if cur_algo is None:
-                continue
-            base_value = base_algo.get(args.metric)
-            cur_value = cur_algo.get(args.metric)
-            if base_value is None or cur_value is None:
-                continue  # e.g. BENCH_PR2's 'before' block has no latency
-            if base_value == 0:
-                continue
-            drift = abs(cur_value - base_value) / abs(base_value)
-            status = "ok" if drift <= args.tolerance else "DRIFT"
-            rows.append((figure, key[0], key[1], base_value, cur_value,
-                         drift, status))
-            if drift > args.tolerance:
-                failures.append(rows[-1])
+    for figure in shared_figures:
+        base_cells = baseline[figure]
+        cur_cells = current[figure]
+        for key in sorted(set(base_cells) & set(cur_cells)):
+            shared_cells += 1
+            base_algo = base_cells[key]
+            cur_algo = cur_cells[key]
+            for metric, tolerance, floor_only in gates:
+                base_value = base_algo.get(metric)
+                cur_value = cur_algo.get(metric)
+                if base_value is None or cur_value is None:
+                    continue  # e.g. BENCH_PR2's 'before' block has no latency
+                if base_value == 0:
+                    continue
+                drift = (cur_value - base_value) / abs(base_value)
+                if floor_only:
+                    bad = drift < -tolerance  # improvements never fail
+                else:
+                    bad = abs(drift) > tolerance
+                status = "DRIFT" if bad else "ok"
+                rows.append((figure, key[0], key[1], metric, tolerance,
+                             base_value, cur_value, drift, status))
+                if bad:
+                    failures.append(rows[-1])
 
+    if shared_cells == 0:
+        fail(f"figures overlap but no (case, algorithm) cell does — "
+             f"baseline {args.baseline} names no case the current run "
+             f"produced (did the case labels or roster change?)")
     if not rows:
-        fail("no (figure, case, algorithm) triple present in both files")
+        fail("no comparable value: the shared cells carry none of the gated "
+             f"metric(s) {[m for m, _, _ in gates]}")
+    for metric, _, _ in gates:
+        if not any(r[3] == metric for r in rows):
+            fail(f"gated metric {metric!r} is absent from every shared cell "
+                 f"— wrong metric name, or stale baseline?")
 
-    header = (f"{'figure':24} {'case':>8} {'algorithm':14} "
-              f"{'baseline':>12} {'current':>12} {'drift':>8}")
+    header = (f"{'figure':20} {'case':>8} {'algorithm':12} "
+              f"{'metric':26} {'baseline':>12} {'current':>12} {'drift':>8}")
     print(header)
     print("-" * len(header))
-    for figure, label, name, base_value, cur_value, drift, status in rows:
-        print(f"{figure:24} {label:>8} {name:14} {base_value:12.3f} "
-              f"{cur_value:12.3f} {drift:7.1%} {status}")
+    for figure, label, name, metric, tolerance, base_value, cur_value, \
+            drift, status in rows:
+        print(f"{figure:20} {label:>8} {name:12} {metric:26} "
+              f"{base_value:12.3f} {cur_value:12.3f} {drift:+7.1%} {status}")
 
     if failures:
-        fail(f"{len(failures)}/{len(rows)} comparison(s) exceed "
-             f"{args.tolerance:.0%} {args.metric} drift")
+        detail = "; ".join(
+            f"{figure}/{label}/{name} {metric} drifted {drift:+.1%} "
+            f"(tolerance {tolerance:.0%})"
+            for figure, label, name, metric, tolerance, _, _, drift, _
+            in failures[:5])
+        fail(f"{len(failures)}/{len(rows)} comparison(s) exceed tolerance: "
+             f"{detail}")
+    gate_desc = ", ".join(f"{m}@{t:.0%}{' floor' if fl else ''}"
+                          for m, t, fl in gates)
     print(f"bench_compare: PASS ({len(rows)} comparison(s), "
-          f"metric={args.metric}, tolerance={args.tolerance:.0%})")
+          f"gates: {gate_desc})")
 
 
 if __name__ == "__main__":
