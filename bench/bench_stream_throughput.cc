@@ -3,7 +3,7 @@
 // per scale point and online algorithm.
 //
 //   ./build/bench/bench_stream_throughput --reps=3 --threads=4
-//       --json=stream.json
+//       --shards=1,4 --json=stream.json
 //
 // The JSON summary uses the bench_compare-compatible shape (figure /
 // cases / algorithms), with the stream-specific metrics alongside the
@@ -14,7 +14,9 @@
 //   p95_/p99_assignment_latency — stream-time latency distribution
 //                               (schedule-deterministic: bit-identical for
 //                               any --threads, tightly gated)
-// The checked-in baseline is BENCH_PR4.json; tools/bench_compare.py gates
+// --shards runs every requested spatial shard count as its own case
+// ("10k@s1", "10k@s4", ...), which is how CI tracks the shard-scaling axis.
+// The checked-in baseline is BENCH_PR5.json; tools/bench_compare.py gates
 // CI's bench-smoke job against it.
 
 #include <cstdio>
@@ -39,10 +41,14 @@ Flag<std::int64_t> FLAG_threads(
     "candidate-gathering threads (0 = hardware concurrency); latency "
     "outputs are identical for every value");
 Flag<double> FLAG_deadline("deadline", 0.5, "batching deadline");
+Flag<std::string> FLAG_shards("shards", "1",
+                              "comma-separated spatial shard counts to run "
+                              "(e.g. 1,4); every count becomes its own "
+                              "'<scale>@sK' case");
 Flag<std::string> FLAG_json("json", "",
                             "write the machine-readable JSON summary here");
 Flag<std::string> FLAG_cases("cases", "",
-                             "comma-separated case labels to run (all when "
+                             "comma-separated scale labels to run (all when "
                              "empty)");
 
 struct StreamCase {
@@ -64,7 +70,7 @@ struct CellResult {
   std::int64_t runs = 0;
 };
 
-StatusOr<CellResult> RunCell(const StreamCase& scale,
+StatusOr<CellResult> RunCell(const StreamCase& scale, std::int64_t shards,
                              const std::string& algorithm) {
   CellResult cell;
   cell.name = algorithm;
@@ -83,6 +89,7 @@ StatusOr<CellResult> RunCell(const StreamCase& scale,
     options.batch_deadline = FLAG_deadline.Get();
     options.seed = cfg.seed;
     options.threads = static_cast<int>(FLAG_threads.Get());
+    options.shards = static_cast<int>(shards);
     // Measure the serving path only: post-stream ValidateArrangement is
     // O(assignments) bookkeeping inside ReplayEventLog's timed window and
     // would pollute events/sec (tests cover validity; benches measure).
@@ -142,6 +149,16 @@ int Main(int argc, char** argv) {
     }
   }
 
+  std::vector<std::int64_t> shard_counts;
+  for (const std::string& part : Split(FLAG_shards.Get(), ',')) {
+    std::int64_t k = 0;
+    if (!ParseInt64(Trim(part), &k) || k < 1) {
+      std::fprintf(stderr, "bad --shards entry '%s'\n", part.c_str());
+      return 1;
+    }
+    shard_counts.push_back(k);
+  }
+
   Stopwatch total;
   std::string json = StrFormat(
       "{\n  \"figure\": \"stream_throughput\",\n  \"factor\": \"events\",\n"
@@ -149,18 +166,34 @@ int Main(int argc, char** argv) {
       "  \"cases\": [\n",
       static_cast<long long>(FLAG_reps.Get()),
       static_cast<long long>(FLAG_seed.Get()));
-  bool first_case = true;
+  struct CasePoint {
+    StreamCase scale;
+    std::int64_t shards;
+  };
+  std::vector<CasePoint> points;
   for (const StreamCase& scale : cases) {
-    std::printf("-- stream %s: |T|=%lld |W|=%lld deadline=%g --\n",
+    for (const std::int64_t shards : shard_counts) {
+      points.push_back(CasePoint{scale, shards});
+    }
+  }
+
+  bool first_case = true;
+  for (const CasePoint& point : points) {
+    const StreamCase& scale = point.scale;
+    const std::int64_t shards = point.shards;
+    const std::string label =
+        StrFormat("%s@s%lld", scale.label.c_str(),
+                  static_cast<long long>(shards));
+    std::printf("-- stream %s: |T|=%lld |W|=%lld deadline=%g shards=%lld --\n",
                 scale.label.c_str(), static_cast<long long>(scale.num_tasks),
                 static_cast<long long>(scale.num_workers),
-                FLAG_deadline.Get());
+                FLAG_deadline.Get(), static_cast<long long>(shards));
     json += StrFormat("%s    {\"label\": \"%s\", \"algorithms\": [\n",
-                      first_case ? "" : ",\n", scale.label.c_str());
+                      first_case ? "" : ",\n", label.c_str());
     first_case = false;
     bool first_algo = true;
     for (const std::string& algorithm : algorithms) {
-      auto cell = RunCell(scale, algorithm);
+      auto cell = RunCell(scale, shards, algorithm);
       if (!cell.ok()) {
         std::fprintf(stderr, "%s\n", cell.status().ToString().c_str());
         return 1;

@@ -14,6 +14,7 @@ Status OnlineSchedulerBase::Init(const model::ProblemInstance& instance,
   index_ = &index;
   delta_ = instance.Delta();
   arrangement_.emplace(instance.num_tasks(), delta_);
+  ResetShardContext();
   return OnInit();
 }
 
@@ -32,6 +33,7 @@ Status OnlineSchedulerBase::InitStreaming(
   index_ = nullptr;  // eligibility is the engine's job in streaming mode
   delta_ = instance.Delta();
   arrangement_.emplace(instance.num_tasks(), delta_);
+  AdoptShardContext();
   return OnInit();
 }
 

@@ -29,7 +29,13 @@ class RandomAssign : public OnlineSchedulerBase {
 
  protected:
   Status OnInit() override {
-    rng_ = Rng(seed_);
+    // Per-shard decorrelation (DESIGN.md §9): each spatial shard of the
+    // sharded service draws an independent deterministic stream. Shard 0 —
+    // and therefore every batch or unsharded streaming run — mixes with 0,
+    // i.e. keeps the historical Rng(seed) stream bit for bit.
+    rng_ = Rng(seed_ ^ (0x9E3779B97F4A7C15ULL *
+                        static_cast<std::uint64_t>(
+                            shard_context().shard_id)));
     return Status::OK();
   }
 

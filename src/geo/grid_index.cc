@@ -139,8 +139,17 @@ Status GridIndex::Relocate(std::int64_t id, const Point& p) {
 
 void GridIndex::CellOf(const Point& p, std::int64_t* cx,
                        std::int64_t* cy) const {
-  std::int64_t x = static_cast<std::int64_t>((p.x - bounds_.min_x) / cell_size_);
-  std::int64_t y = static_cast<std::int64_t>((p.y - bounds_.min_y) / cell_size_);
+  // floor, matching the query-window arithmetic of ForEachInRadius. With
+  // the clamp below this is equivalent to the previous int-cast truncation
+  // (negative raw columns clamp to 0 either way — the PR-5 audit confirmed
+  // no boundary-cell disagreement existed); floor keeps the insert side
+  // and the query side symmetric by construction rather than by the
+  // clamp's grace, and tests/geo_dynamic_test pins the out-of-bounds
+  // Insert/Relocate behaviour directly.
+  const auto x = static_cast<std::int64_t>(
+      std::floor((p.x - bounds_.min_x) / cell_size_));
+  const auto y = static_cast<std::int64_t>(
+      std::floor((p.y - bounds_.min_y) / cell_size_));
   *cx = std::clamp<std::int64_t>(x, 0, cells_x_ - 1);
   *cy = std::clamp<std::int64_t>(y, 0, cells_y_ - 1);
 }

@@ -1,0 +1,66 @@
+#include "geo/shard_map.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ltc {
+namespace geo {
+
+StatusOr<ShardMap> ShardMap::Build(const Rect& bounds, double cell_size,
+                                   int shards) {
+  if (!(cell_size > 0.0)) {
+    return Status::InvalidArgument("ShardMap cell_size must be positive");
+  }
+  if (bounds.Width() < 0.0 || bounds.Height() < 0.0) {
+    return Status::InvalidArgument("ShardMap bounds must be non-degenerate");
+  }
+  if (shards < 1) {
+    return Status::InvalidArgument("ShardMap needs at least one shard");
+  }
+  ShardMap map;
+  map.bounds_ = bounds;
+  map.cell_size_ = cell_size;
+  // Same column-count formula as GridIndex::BuildDynamic, so stripe edges
+  // land exactly on the per-shard grids' cell boundaries.
+  map.cells_x_ = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(bounds.Width() / cell_size) + 1);
+  map.num_shards_ = shards;
+  map.col_shard_.resize(static_cast<std::size_t>(map.cells_x_));
+  map.shard_begin_.resize(static_cast<std::size_t>(shards) + 1);
+  // Even split of whole columns: shard s owns [s*cx/K, (s+1)*cx/K).
+  for (int s = 0; s <= shards; ++s) {
+    map.shard_begin_[static_cast<std::size_t>(s)] =
+        map.cells_x_ * s / shards;
+  }
+  for (int s = 0; s < shards; ++s) {
+    for (std::int64_t c = map.shard_begin_[static_cast<std::size_t>(s)];
+         c < map.shard_begin_[static_cast<std::size_t>(s) + 1]; ++c) {
+      map.col_shard_[static_cast<std::size_t>(c)] = s;
+    }
+  }
+  return map;
+}
+
+std::int64_t ShardMap::ColumnOf(double x) const {
+  // floor (not truncation) so coordinates just left of the world behave
+  // like their clamped column — the same both-ends clamp GridIndex uses.
+  const auto col = static_cast<std::int64_t>(
+      std::floor((x - bounds_.min_x) / cell_size_));
+  return std::clamp<std::int64_t>(col, 0, cells_x_ - 1);
+}
+
+double ShardMap::StripeMinX(int shard) const {
+  return bounds_.min_x +
+         static_cast<double>(shard_begin_[static_cast<std::size_t>(shard)]) *
+             cell_size_;
+}
+
+double ShardMap::StripeMaxX(int shard) const {
+  return bounds_.min_x +
+         static_cast<double>(
+             shard_begin_[static_cast<std::size_t>(shard) + 1]) *
+             cell_size_;
+}
+
+}  // namespace geo
+}  // namespace ltc

@@ -95,9 +95,20 @@ StatusOr<std::string> SerializeEventLog(const EventLog& log) {
 }
 
 StatusOr<EventLog> ParseEventLog(const std::string& text) {
+  // Split on '\n'; CRLF-terminated files are tolerated because every line
+  // is Trim()med (which strips the dangling '\r') before field splitting.
   const std::vector<std::string> lines = Split(text, '\n');
   if (lines.empty() || Trim(lines[0]) != kHeader) {
     return Status::InvalidArgument("missing ltc-events v1 header");
+  }
+  // Every record the writer emits is newline-terminated, so a non-empty
+  // final line without its '\n' means the file was cut mid-record. Failing
+  // here is what keeps a truncated last event from parsing "successfully"
+  // with a silently shortened coordinate or accuracy field.
+  if (text.back() != '\n' && !Trim(lines.back()).empty()) {
+    return Status::InvalidArgument(
+        "truncated final line (ltc-events v1 files are newline-terminated): "
+        "'" + Trim(lines.back()) + "'");
   }
   EventLog log;
   std::int64_t expected_events = -1;

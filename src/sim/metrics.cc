@@ -9,11 +9,23 @@ namespace sim {
 namespace {
 
 /// Nearest-rank percentile of sorted samples: the ceil(q*n)-th smallest.
+///
+/// Robust to the FP representation of q: when q*n is meant to be integral
+/// (p50 of 100 samples, p95 of 20, ...) the product can land a few ulps
+/// above the integer — e.g. 0.95 stored as 0.95000000000000051 — and a
+/// plain ceil would then overshoot the rank by one. Backing the product off
+/// by half a ulp-scale epsilon before the ceil makes the rank exact for
+/// every q in {0.5, 0.95, 0.99} at any n, while a genuinely fractional q*n
+/// still rounds up. The rank is clamped to [1, n] so tiny q·n (rank 0) and
+/// q = 1 never index out of range.
 double Percentile(const std::vector<double>& sorted, double q) {
   const auto n = static_cast<double>(sorted.size());
-  auto rank = static_cast<std::size_t>(std::ceil(q * n));
-  if (rank == 0) rank = 1;
-  return sorted[std::min(rank, sorted.size()) - 1];
+  const double scaled = q * n;
+  auto rank = static_cast<std::int64_t>(
+      std::ceil(scaled - 1e-9 * std::max(1.0, std::fabs(scaled))));
+  rank = std::clamp<std::int64_t>(rank, 1,
+                                  static_cast<std::int64_t>(sorted.size()));
+  return sorted[static_cast<std::size_t>(rank) - 1];
 }
 
 }  // namespace

@@ -42,6 +42,11 @@ Flag<std::int64_t> FLAG_threads(
     "threads", 1,
     "candidate-gathering threads (0 = hardware concurrency); the "
     "assignment log is byte-identical for every value");
+Flag<std::int64_t> FLAG_shards(
+    "shards", 1,
+    "spatial shards (grid-aligned stripes; DESIGN.md section 9). The "
+    "assignment log is pinned per shard count and byte-identical across "
+    "--threads");
 Flag<std::int64_t> FLAG_seed("seed", 42, "RNG seed (--synthetic and Random)");
 Flag<std::string> FLAG_out("out", "",
                            "write the ltc-serve v1 assignment log here");
@@ -67,10 +72,11 @@ StatusOr<ServeReport> RunService(const io::EventLog& log,
 
   std::string& out = report.assignment_log;
   out = "# ltc-serve v1\n";
-  out += StrFormat("# algorithm %s deadline %.17g max_batch %lld seed %llu\n",
-                   options.algorithm.c_str(), options.batch_deadline,
-                   static_cast<long long>(options.max_batch),
-                   static_cast<unsigned long long>(options.seed));
+  out += StrFormat(
+      "# algorithm %s deadline %.17g max_batch %lld seed %llu shards %d\n",
+      options.algorithm.c_str(), options.batch_deadline,
+      static_cast<long long>(options.max_batch),
+      static_cast<unsigned long long>(options.seed), options.shards);
   for (const StreamAssignment& a : assignments) {
     out += StrFormat("a %.9g %d %d\n", a.time, a.worker, a.task);
   }
@@ -103,6 +109,11 @@ std::string ServeMetricsJson(const ServeReport& report) {
   json += StrFormat("  \"events_per_sec\": %.1f,\n", events_per_sec);
   json += StrFormat("  \"runtime_seconds\": %.6f,\n",
                     report.run.runtime_seconds);
+  json += StrFormat("  \"shards\": %lld,\n", static_cast<long long>(m.shards));
+  json += StrFormat("  \"boundary_workers\": %lld,\n",
+                    static_cast<long long>(m.boundary_workers));
+  json += StrFormat("  \"handoff_skips\": %lld,\n",
+                    static_cast<long long>(m.handoff_skips));
   json += StrFormat("  \"batches\": %lld,\n",
                     static_cast<long long>(m.batches));
   json += StrFormat("  \"max_batch_size\": %lld,\n",
@@ -175,6 +186,7 @@ int ServeMain(int argc, char** argv) {
   options.max_batch = FLAG_max_batch.Get();
   options.seed = static_cast<std::uint64_t>(FLAG_seed.Get());
   options.threads = static_cast<int>(FLAG_threads.Get());
+  options.shards = static_cast<int>(FLAG_shards.Get());
   options.validate = FLAG_validate.Get();
 
   auto report = RunService(log, options);
@@ -203,9 +215,11 @@ int ServeMain(int argc, char** argv) {
 
   const StreamMetrics& m = report.value().metrics;
   std::printf(
-      "%s served %lld event(s): %lld batch(es), %lld assignment(s), "
-      "%lld/%lld task(s) completed in %.3fs (%.0f events/s)\n",
+      "%s served %lld event(s) on %lld shard(s): %lld batch(es), "
+      "%lld assignment(s), %lld/%lld task(s) completed in %.3fs "
+      "(%.0f events/s)\n",
       options.algorithm.c_str(), static_cast<long long>(m.events),
+      static_cast<long long>(m.shards),
       static_cast<long long>(m.batches),
       static_cast<long long>(m.assignments),
       static_cast<long long>(m.tasks_completed),

@@ -1,0 +1,392 @@
+#include "svc/sharded_engine.h"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+#include "common/string_util.h"
+#include "geo/point.h"
+#include "model/eligibility.h"
+#include "model/worker.h"
+
+namespace ltc {
+namespace svc {
+
+namespace {
+
+/// Gather fan-out granularity: slots are cheap (one radius query), so
+/// chunking amortises the pool's per-task overhead without hurting load
+/// balance at service batch sizes.
+constexpr std::size_t kGatherChunk = 16;
+
+bool DueOrder(const double a_time, const int a_shard, const double b_time,
+              const int b_shard) {
+  if (a_time != b_time) return a_time < b_time;
+  return a_shard < b_shard;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<ShardedStreamEngine>> ShardedStreamEngine::Create(
+    const io::EventLog& header, const StreamOptions& options) {
+  if (options.shards < 1) {
+    return Status::InvalidArgument("shards must be >= 1");
+  }
+  if (options.threads < 0) {
+    return Status::InvalidArgument("threads must be >= 0");
+  }
+  if (header.accuracy == nullptr) {
+    return Status::InvalidArgument("event log header has no accuracy model");
+  }
+
+  std::unique_ptr<ShardedStreamEngine> engine(
+      new ShardedStreamEngine(options));
+  engine->accuracy_ = header.accuracy;
+  engine->acc_min_ = header.acc_min;
+
+  const auto cell =
+      model::SpatialPruningCellSize(*header.accuracy, header.acc_min);
+  // Stripe edges align with the incremental grids' cell columns. Models
+  // without distance structure have no natural cell; stripes then cut the
+  // world into K equal columns (workers route to every shard regardless).
+  const double map_cell = cell.has_value()
+                              ? *cell
+                              : std::max(options.world.Width() /
+                                             static_cast<double>(options.shards),
+                                         1.0);
+  LTC_ASSIGN_OR_RETURN(
+      engine->map_, geo::ShardMap::Build(options.world, map_cell,
+                                         options.shards));
+
+  engine->pipelines_.reserve(static_cast<std::size_t>(options.shards));
+  for (int s = 0; s < options.shards; ++s) {
+    StreamPipeline::Config config;
+    config.algorithm = options.algorithm;
+    config.batch_deadline = options.batch_deadline;
+    config.max_batch = options.max_batch;
+    config.seed = options.seed;
+    config.shard_id = s;
+    config.num_shards = options.shards;
+    config.world = options.world;
+    config.cell_size = cell;
+    LTC_ASSIGN_OR_RETURN(auto pipeline,
+                         StreamPipeline::Create(header, config));
+    engine->pipelines_.push_back(std::move(pipeline));
+  }
+  engine->route_flags_.assign(static_cast<std::size_t>(options.shards), 0);
+
+  int threads = options.threads;
+  if (threads == 0) threads = ThreadPool::DefaultThreads();
+  if (threads > 1) {
+    engine->pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  return engine;
+}
+
+Status ShardedStreamEngine::OnEvent(const io::Event& event) {
+  if (finished_) {
+    return Status::FailedPrecondition("OnEvent after Finish");
+  }
+  if (event.time < last_event_time_) {
+    return Status::InvalidArgument(
+        StrFormat("event time %g precedes the stream clock %g", event.time,
+                  last_event_time_));
+  }
+  LTC_RETURN_IF_ERROR(FlushExpired(event.time));
+  last_event_time_ = event.time;
+  ++metrics_.events;
+  switch (event.kind) {
+    case io::Event::Kind::kTaskArrival:
+      return HandleTaskArrival(event);
+    case io::Event::Kind::kWorkerArrival:
+      return HandleWorkerArrival(event);
+    case io::Event::Kind::kTaskMove:
+      return HandleTaskMove(event);
+  }
+  return Status::InvalidArgument("unknown event kind");
+}
+
+Status ShardedStreamEngine::HandleTaskArrival(const io::Event& event) {
+  const auto gid = static_cast<model::TaskId>(task_route_.size());
+  const int shard = map_.ShardOf(event.location);
+  LTC_ASSIGN_OR_RETURN(
+      const model::TaskId local,
+      pipelines_[static_cast<std::size_t>(shard)]->AddTask(gid, event.time,
+                                                           event.location));
+  task_route_.push_back(TaskRoute{shard, local});
+  task_open_.push_back(1);
+  ++metrics_.task_events;
+  return Status::OK();
+}
+
+Status ShardedStreamEngine::HandleWorkerArrival(const io::Event& event) {
+  ++metrics_.worker_events;
+  const auto global_index =
+      static_cast<model::WorkerIndex>(metrics_.worker_events);
+
+  // Route set: every stripe the eligibility disk intersects, plus the
+  // owner shard of any displaced open task within reach. No distance
+  // structure means no disk — the worker is offered everywhere.
+  std::fill(route_flags_.begin(), route_flags_.end(), 0);
+  model::Worker probe;
+  probe.location = event.location;
+  probe.historical_accuracy = event.accuracy;
+  const auto radius = accuracy_->EligibleRadius(probe, acc_min_);
+  if (!radius.has_value()) {
+    std::fill(route_flags_.begin(), route_flags_.end(), 1);
+  } else {
+    const double r = std::max(0.0, *radius);
+    int lo = 0;
+    int hi = 0;
+    map_.ShardRange(event.location, r, &lo, &hi);
+    for (int s = lo; s <= hi; ++s) {
+      route_flags_[static_cast<std::size_t>(s)] = 1;
+    }
+    const double r2 = r * r;
+    for (const auto& [task, displaced] : displaced_) {
+      if (!task_open_[static_cast<std::size_t>(task)]) continue;
+      if (route_flags_[static_cast<std::size_t>(displaced.owner)]) continue;
+      if (geo::SquaredDistance(displaced.location, event.location) <= r2) {
+        route_flags_[static_cast<std::size_t>(displaced.owner)] = 1;
+      }
+    }
+  }
+
+  int route_count = 0;
+  std::vector<DueFlush> due;
+  for (int s = 0; s < num_shards(); ++s) {
+    if (!route_flags_[static_cast<std::size_t>(s)]) continue;
+    ++route_count;
+    bool hit_max_batch = false;
+    LTC_RETURN_IF_ERROR(pipelines_[static_cast<std::size_t>(s)]->BufferWorker(
+        global_index, event.location, event.accuracy, event.time,
+        &hit_max_batch));
+    if (hit_max_batch || options_.batch_deadline == 0.0) {
+      due.push_back(DueFlush{event.time, s});
+    }
+  }
+  if (route_count > 1) {
+    claims_.emplace(global_index, Claim{-1, route_count});
+    ++metrics_.boundary_workers;
+  }
+  if (!due.empty()) return RunRound(std::move(due));
+  return Status::OK();
+}
+
+Status ShardedStreamEngine::HandleTaskMove(const io::Event& event) {
+  if (event.task < 0 ||
+      static_cast<std::size_t>(event.task) >= task_route_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("move event references unknown task %d", event.task));
+  }
+  const TaskRoute route = task_route_[static_cast<std::size_t>(event.task)];
+  LTC_RETURN_IF_ERROR(pipelines_[static_cast<std::size_t>(route.shard)]
+                          ->MoveTask(route.local, event.location));
+  ++metrics_.move_events;
+  if (task_open_[static_cast<std::size_t>(event.task)]) {
+    // Ownership is fixed at arrival; a task that crossed a stripe edge is
+    // tracked so boundary routing can still reach its owner shard.
+    const int home = map_.ShardOf(event.location);
+    if (home != route.shard) {
+      displaced_[event.task] = Displaced{route.shard, event.location};
+    } else {
+      displaced_.erase(event.task);
+    }
+  }
+  return Status::OK();
+}
+
+Status ShardedStreamEngine::FlushExpired(double now) {
+  std::vector<DueFlush> due;
+  for (int s = 0; s < num_shards(); ++s) {
+    const StreamPipeline& p = *pipelines_[static_cast<std::size_t>(s)];
+    if (!p.has_open_batch()) continue;
+    if (now - p.batch_open_time() >= options_.batch_deadline) {
+      // Commit at the instant the deadline ran out, not at whichever event
+      // happened to arrive next (same rule as the single-pipeline engine).
+      due.push_back(
+          DueFlush{p.batch_open_time() + options_.batch_deadline, s});
+    }
+  }
+  if (due.empty()) return Status::OK();
+  return RunRound(std::move(due));
+}
+
+Status ShardedStreamEngine::RunRound(std::vector<DueFlush> due) {
+  if (due.empty()) return Status::OK();
+  std::sort(due.begin(), due.end(), [](const DueFlush& a, const DueFlush& b) {
+    return DueOrder(a.time, a.shard, b.time, b.shard);
+  });
+
+  // Phase 1 — gather, all due shards at once: commits of one shard never
+  // touch another shard's open tasks and no event separates the due flush
+  // instants, so every slot reads exactly its flush-time state. Workers
+  // already claimed by another shard in an earlier round skip the query.
+  std::size_t total_slots = 0;
+  for (const DueFlush& f : due) {
+    StreamPipeline& p = *pipelines_[static_cast<std::size_t>(f.shard)];
+    p.PrepareGather();
+    total_slots += p.batch_size();
+  }
+  const auto gather_span = [this](StreamPipeline* p, std::size_t begin,
+                                  std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto it = claims_.find(p->batch_global_worker(i));
+      if (it != claims_.end() && it->second.shard != -1) {
+        p->ClearSlot(i);  // lost in an earlier round; resolution counts it
+      } else {
+        p->GatherSlot(i);
+      }
+    }
+  };
+  if (pool_ != nullptr && total_slots > 1) {
+    std::vector<std::future<void>> futures;
+    for (const DueFlush& f : due) {
+      StreamPipeline* p = pipelines_[static_cast<std::size_t>(f.shard)].get();
+      const std::size_t n = p->batch_size();
+      for (std::size_t begin = 0; begin < n; begin += kGatherChunk) {
+        const std::size_t end = std::min(n, begin + kGatherChunk);
+        futures.push_back(
+            pool_->Submit([&gather_span, p, begin, end] {
+              gather_span(p, begin, end);
+            }));
+      }
+    }
+    LTC_RETURN_IF_ERROR(ConsumeFutures(&futures, "gather"));
+  } else {
+    for (const DueFlush& f : due) {
+      StreamPipeline* p = pipelines_[static_cast<std::size_t>(f.shard)].get();
+      gather_span(p, 0, p->batch_size());
+    }
+  }
+
+  // Phase 2 — claim resolution, sequential in key order: the first shard
+  // offering a non-empty candidate set claims the worker; later offers are
+  // dropped before commit. Deterministic: a pure function of the gathered
+  // slots and the table state left by earlier rounds.
+  for (const DueFlush& f : due) {
+    StreamPipeline& p = *pipelines_[static_cast<std::size_t>(f.shard)];
+    for (std::size_t i = 0; i < p.batch_size(); ++i) {
+      const auto it = claims_.find(p.batch_global_worker(i));
+      if (it == claims_.end()) continue;  // single-shard worker
+      Claim& claim = it->second;
+      if (claim.shard == -1) {
+        if (!p.SlotEmpty(i)) claim.shard = f.shard;
+      } else if (claim.shard != f.shard) {
+        p.ClearSlot(i);
+        ++metrics_.handoff_skips;
+      }
+      // This was the worker's one offer from shard f; once every offered
+      // shard has flushed it the decision is final and the entry retires.
+      if (--claim.remaining == 0) claims_.erase(it);
+    }
+  }
+
+  // Phase 3 — commit: each due shard's batch in parallel (a pipeline's
+  // commit touches only shard-local state; the claim table is read-only
+  // now). Statuses land in slot-indexed storage.
+  if (pool_ != nullptr && due.size() > 1) {
+    std::vector<Status> statuses(due.size(), Status::OK());
+    std::vector<std::future<void>> futures;
+    futures.reserve(due.size());
+    for (std::size_t k = 0; k < due.size(); ++k) {
+      StreamPipeline* p =
+          pipelines_[static_cast<std::size_t>(due[k].shard)].get();
+      const double flush_time = due[k].time;
+      Status* status = &statuses[k];
+      futures.push_back(pool_->Submit([p, flush_time, status] {
+        *status = p->CommitBatch(flush_time);
+      }));
+    }
+    LTC_RETURN_IF_ERROR(ConsumeFutures(&futures, "commit"));
+    for (const Status& status : statuses) {
+      LTC_RETURN_IF_ERROR(status);
+    }
+  } else {
+    for (const DueFlush& f : due) {
+      LTC_RETURN_IF_ERROR(
+          pipelines_[static_cast<std::size_t>(f.shard)]->CommitBatch(f.time));
+    }
+  }
+
+  // Phase 4 — merge, sequential in the same key order: one deterministic
+  // global log, closure bookkeeping for the router.
+  for (const DueFlush& f : due) {
+    StreamPipeline& p = *pipelines_[static_cast<std::size_t>(f.shard)];
+    for (const StreamAssignment& a : p.pending_assignments()) {
+      assignments_.push_back(a);
+      max_assigned_worker_ = std::max(max_assigned_worker_, a.worker);
+      ++metrics_.assignments;
+    }
+    p.pending_assignments().clear();
+    for (const model::TaskId task : p.pending_closed()) {
+      task_open_[static_cast<std::size_t>(task)] = 0;
+      displaced_.erase(task);
+    }
+    p.pending_closed().clear();
+  }
+  return Status::OK();
+}
+
+StatusOr<StreamMetrics> ShardedStreamEngine::Finish() {
+  if (finished_) {
+    return Status::FailedPrecondition("Finish called twice");
+  }
+  std::vector<DueFlush> due;
+  for (int s = 0; s < num_shards(); ++s) {
+    const StreamPipeline& p = *pipelines_[static_cast<std::size_t>(s)];
+    if (!p.has_open_batch()) continue;
+    // The service waits out the deadline for the final stragglers.
+    due.push_back(DueFlush{p.batch_open_time() + options_.batch_deadline, s});
+  }
+  LTC_RETURN_IF_ERROR(RunRound(std::move(due)));
+  finished_ = true;
+
+  metrics_.last_event_time = last_event_time_;
+  metrics_.shards = num_shards();
+  std::vector<double> assignment_samples;
+  std::vector<double> completion_samples;
+  for (const auto& pipeline : pipelines_) {
+    metrics_.batches += pipeline->batches();
+    metrics_.max_batch_size =
+        std::max(metrics_.max_batch_size, pipeline->max_batch_size());
+    metrics_.tasks_completed += pipeline->tasks_completed();
+    metrics_.open_tasks += pipeline->open_tasks();
+    const auto* a = pipeline->mutable_assignment_latency_samples();
+    assignment_samples.insert(assignment_samples.end(), a->begin(), a->end());
+    const auto* c = pipeline->mutable_completion_latency_samples();
+    completion_samples.insert(completion_samples.end(), c->begin(), c->end());
+  }
+  metrics_.assignment_latency = sim::SummarizeLatencies(&assignment_samples);
+  metrics_.completion_latency = sim::SummarizeLatencies(&completion_samples);
+
+  if (options_.validate && metrics_.move_events == 0 &&
+      metrics_.task_events > 0) {
+    for (const auto& pipeline : pipelines_) {
+      LTC_RETURN_IF_ERROR(pipeline->Validate());
+    }
+    metrics_.validated = true;
+  }
+  return metrics_;
+}
+
+double ShardedStreamEngine::total_acc_star() const {
+  double total = 0.0;
+  for (const auto& pipeline : pipelines_) {
+    for (const model::Assignment& a : pipeline->arrangement().assignments()) {
+      total += a.acc_star;
+    }
+  }
+  return total;
+}
+
+std::int64_t ShardedStreamEngine::workers_used() const {
+  std::int64_t used = 0;
+  for (const auto& pipeline : pipelines_) {
+    used += pipeline->workers_used();
+  }
+  return used;
+}
+
+}  // namespace svc
+}  // namespace ltc

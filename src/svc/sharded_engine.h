@@ -1,0 +1,160 @@
+// The spatially partitioned streaming service (DESIGN.md §9): K independent
+// StreamPipeline instances over grid-aligned stripes of the world, one
+// event router, and a boundary-handoff protocol that keeps assignment
+// quality at stripe edges on par with the single-pipeline engine.
+//
+// Routing. Task arrivals go to exactly one shard — the stripe owning their
+// location (geo::ShardMap, whose stripe edges are GridIndex cell
+// boundaries). Worker arrivals are offered to *every* shard whose stripe
+// their eligibility disk intersects (the cross-shard radius query), so a
+// worker standing near an edge still sees the open tasks just across it.
+// Tasks that relocate across a stripe edge stay owned by their original
+// shard; the router tracks these displaced tasks and widens the route set
+// of any worker whose disk covers one.
+//
+// Handoff / claim. A multi-shard worker must not be spent twice. Shards
+// flush in globally deterministic (flush_time, shard_id) key order; at
+// each flush the router resolves claims sequentially in that order: the
+// first shard whose gathered candidate set for the worker is non-empty
+// claims it (per-worker entry in a shared claim table), and every later
+// offer of that worker is dropped before commit. Entries count their
+// outstanding offers and are retired once every offered shard has flushed
+// the worker, so the table stays bounded by in-flight boundary workers.
+// Single-shard workers never touch the table.
+//
+// Determinism. Every schedule-dependent output is a pure function of
+// (event log, algorithm, seed, shards): gathers land in per-slot buffers,
+// claim resolution is sequential in key order, per-shard commits touch
+// only shard-local state, and the per-shard assignment records are merged
+// into one log in the same key order. `ltc_serve --shards=K --threads=T`
+// therefore emits a byte-identical log for any T, and a pinned log per K.
+
+#ifndef LTC_SVC_SHARDED_ENGINE_H_
+#define LTC_SVC_SHARDED_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "geo/shard_map.h"
+#include "io/event_log.h"
+#include "svc/stream_engine.h"
+
+namespace ltc {
+namespace svc {
+
+/// \brief The K-shard event router and flush coordinator. Same OnEvent /
+/// Finish surface as StreamEngine; Create accepts options.shards >= 1
+/// (shards == 1 degenerates to a single pipeline and reproduces the classic
+/// engine's assignment sequence exactly — pinned by tests/svc_shard_test).
+class ShardedStreamEngine {
+ public:
+  static StatusOr<std::unique_ptr<ShardedStreamEngine>> Create(
+      const io::EventLog& header, const StreamOptions& options);
+
+  ShardedStreamEngine(const ShardedStreamEngine&) = delete;
+  ShardedStreamEngine& operator=(const ShardedStreamEngine&) = delete;
+
+  /// Consumes one event. Times must be non-decreasing across calls; due
+  /// shard flushes are committed (in key order) before the event applies.
+  Status OnEvent(const io::Event& event);
+
+  /// Flushes every open batch at its deadline, merges per-shard metrics,
+  /// and (when configured) validates every shard arrangement. Call once.
+  StatusOr<StreamMetrics> Finish();
+
+  /// The merged assignment log: per-shard commit records interleaved in
+  /// deterministic (flush_time, shard_id) key order.
+  const std::vector<StreamAssignment>& assignments() const {
+    return assignments_;
+  }
+  /// Largest global arrival index holding an assignment (the MinMax
+  /// latency objective of the merged run).
+  model::WorkerIndex max_assigned_worker() const {
+    return max_assigned_worker_;
+  }
+  /// Sum of Acc* over all shards' assignments.
+  double total_acc_star() const;
+  /// Distinct workers holding at least one assignment (the claim table
+  /// guarantees a worker commits in at most one shard).
+  std::int64_t workers_used() const;
+
+  int num_shards() const { return static_cast<int>(pipelines_.size()); }
+  const StreamPipeline& pipeline(int shard) const {
+    return *pipelines_[static_cast<std::size_t>(shard)];
+  }
+  const geo::ShardMap& shard_map() const { return map_; }
+
+ private:
+  /// One due shard flush; rounds process these sorted by (time, shard).
+  struct DueFlush {
+    double time = 0.0;
+    int shard = 0;
+  };
+  /// Claim-table entry of a multi-shard worker. `remaining` counts the
+  /// offered shards that have not flushed the worker yet; when it hits 0
+  /// the entry is retired, so the table stays bounded by *in-flight*
+  /// boundary workers rather than growing with the whole stream.
+  struct Claim {
+    int shard = -1;     // claiming shard, -1 while unclaimed
+    int remaining = 0;  // offers still outstanding
+  };
+  /// An open task whose current location crossed out of its owner stripe.
+  struct Displaced {
+    int owner = 0;
+    geo::Point location;
+  };
+  /// Router record of a task: owning shard and shard-local id.
+  struct TaskRoute {
+    int shard = 0;
+    model::TaskId local = 0;
+  };
+
+  explicit ShardedStreamEngine(const StreamOptions& options)
+      : options_(options) {}
+
+  Status HandleTaskArrival(const io::Event& event);
+  Status HandleWorkerArrival(const io::Event& event);
+  Status HandleTaskMove(const io::Event& event);
+
+  /// Collects every shard whose batch deadline expired at or before `now`
+  /// and runs them as one round.
+  Status FlushExpired(double now);
+  /// One flush round over `due` (must be key-sorted): parallel gather,
+  /// sequential claim resolution, parallel per-shard commit, sequential
+  /// merge.
+  Status RunRound(std::vector<DueFlush> due);
+
+  StreamOptions options_;
+  geo::ShardMap map_;
+  /// Header parameters the router needs for eligibility-disk routing.
+  std::shared_ptr<const model::AccuracyFunction> accuracy_;
+  double acc_min_ = model::kDefaultAccMin;
+  std::vector<std::unique_ptr<StreamPipeline>> pipelines_;
+
+  // Router state, engine thread only (gather threads read claims_ and the
+  // pipelines' const state while the engine thread is blocked on futures).
+  std::vector<TaskRoute> task_route_;  // by global task id
+  std::vector<char> task_open_;        // by global task id
+  std::unordered_map<model::TaskId, Displaced> displaced_;
+  std::unordered_map<model::WorkerIndex, Claim> claims_;
+  std::vector<char> route_flags_;      // scratch: shard membership per event
+
+  std::vector<StreamAssignment> assignments_;
+  model::WorkerIndex max_assigned_worker_ = 0;
+  StreamMetrics metrics_;
+  double last_event_time_ = 0.0;
+  bool finished_ = false;
+
+  // Declared last so it is destroyed first (drains before the pipelines and
+  // router state above die); every round also consumes all its futures.
+  std::unique_ptr<ThreadPool> pool_;  // fan-out (threads > 1 only)
+};
+
+}  // namespace svc
+}  // namespace ltc
+
+#endif  // LTC_SVC_SHARDED_ENGINE_H_

@@ -8,52 +8,251 @@
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "model/eligibility.h"
+#include "svc/sharded_engine.h"
 
 namespace ltc {
 namespace svc {
 
-StatusOr<std::unique_ptr<StreamEngine>> StreamEngine::Create(
-    const io::EventLog& header, const StreamOptions& options) {
-  if (!(options.batch_deadline >= 0.0)) {
+Status ConsumeFutures(std::vector<std::future<void>>* futures,
+                      const char* what) {
+  Status status = Status::OK();
+  for (auto& f : *futures) {
+    try {
+      f.get();
+    } catch (const std::exception& e) {
+      if (status.ok()) {
+        status = Status::Internal(std::string(what) + " task threw: " +
+                                  e.what());
+      }
+    }
+  }
+  return status;
+}
+
+// --- StreamPipeline -------------------------------------------------------
+
+StatusOr<std::unique_ptr<StreamPipeline>> StreamPipeline::Create(
+    const io::EventLog& header, const Config& config) {
+  if (!(config.batch_deadline >= 0.0)) {
     return Status::InvalidArgument("batch_deadline must be >= 0");
   }
-  if (options.max_batch < 0) {
+  if (config.max_batch < 0) {
     return Status::InvalidArgument("max_batch must be >= 0");
-  }
-  if (options.threads < 0) {
-    return Status::InvalidArgument("threads must be >= 0");
   }
   if (header.accuracy == nullptr) {
     return Status::InvalidArgument("event log header has no accuracy model");
   }
   LTC_ASSIGN_OR_RETURN(bool online,
-                       algo::IsOnlineAlgorithm(options.algorithm));
+                       algo::IsOnlineAlgorithm(config.algorithm));
   if (!online) {
     return Status::InvalidArgument(
         "streaming admission drives online schedulers; '" +
-        options.algorithm + "' is offline");
+        config.algorithm + "' is offline");
+  }
+
+  std::unique_ptr<StreamPipeline> pipeline(new StreamPipeline(config));
+  pipeline->instance_.epsilon = header.epsilon;
+  pipeline->instance_.capacity = header.capacity;
+  pipeline->instance_.acc_min = header.acc_min;
+  pipeline->instance_.accuracy = header.accuracy;
+
+  LTC_ASSIGN_OR_RETURN(
+      pipeline->scheduler_,
+      algo::MakeOnlineScheduler(config.algorithm, config.seed));
+  LTC_RETURN_IF_ERROR(pipeline->scheduler_->InitStreamingSharded(
+      pipeline->instance_,
+      algo::OnlineScheduler::StreamShardContext{config.shard_id,
+                                                config.num_shards}));
+
+  if (config.cell_size.has_value()) {
+    LTC_ASSIGN_OR_RETURN(
+        auto grid, geo::GridIndex::BuildDynamic(config.world,
+                                                *config.cell_size));
+    pipeline->grid_.emplace(std::move(grid));
+  }
+  return pipeline;
+}
+
+StatusOr<model::TaskId> StreamPipeline::AddTask(model::TaskId global_id,
+                                                double time,
+                                                const geo::Point& location) {
+  const auto id = static_cast<model::TaskId>(instance_.num_tasks());
+  model::Task task;
+  task.id = id;
+  task.location = location;
+  instance_.tasks.push_back(task);
+  task_arrival_time_.push_back(time);
+  task_global_.push_back(global_id);
+  open_.push_back(1);
+  if (grid_.has_value()) {
+    LTC_RETURN_IF_ERROR(grid_->Insert(id, location));
+  }
+  LTC_RETURN_IF_ERROR(scheduler_->OnTaskAdded(id));
+  return id;
+}
+
+Status StreamPipeline::MoveTask(model::TaskId local_id,
+                                const geo::Point& location) {
+  if (local_id < 0 ||
+      static_cast<std::int64_t>(local_id) >= instance_.num_tasks()) {
+    return Status::InvalidArgument(
+        StrFormat("move references unknown local task %d", local_id));
+  }
+  instance_.tasks[static_cast<std::size_t>(local_id)].location = location;
+  if (open_[static_cast<std::size_t>(local_id)] && grid_.has_value()) {
+    LTC_RETURN_IF_ERROR(grid_->Relocate(local_id, location));
+  }
+  return Status::OK();
+}
+
+Status StreamPipeline::BufferWorker(model::WorkerIndex global_index,
+                                    const geo::Point& location,
+                                    double accuracy, double time,
+                                    bool* hit_max_batch) {
+  *hit_max_batch = false;
+  model::Worker worker;
+  worker.index = static_cast<model::WorkerIndex>(instance_.num_workers() + 1);
+  worker.location = location;
+  worker.historical_accuracy = accuracy;
+  instance_.workers.push_back(worker);
+  worker_global_.push_back(global_index);
+
+  if (batch_.empty()) batch_open_time_ = time;
+  batch_.push_back(worker.index);
+  *hit_max_batch =
+      config_.max_batch > 0 &&
+      static_cast<std::int64_t>(batch_.size()) >= config_.max_batch;
+  return Status::OK();
+}
+
+void StreamPipeline::PrepareGather() {
+  if (gather_slots_.size() < batch_.size()) {
+    gather_slots_.resize(batch_.size());
+  }
+}
+
+void StreamPipeline::GatherSlot(std::size_t i) {
+  const model::Worker& worker =
+      instance_.workers[static_cast<std::size_t>(batch_[i]) - 1];
+  std::vector<model::TaskId>* out = &gather_slots_[i];
+  out->clear();
+  if (grid_.has_value()) {
+    const auto radius =
+        instance_.accuracy->EligibleRadius(worker, instance_.acc_min);
+    if (!radius.has_value()) return;  // probe had structure; worker must too
+    if (*radius < 0.0) return;        // empty disk: nothing in reach
+    grid_->ForEachInRadius(worker.location, *radius, [&](std::int64_t id) {
+      const auto t = static_cast<model::TaskId>(id);
+      // Exact for distance-monotone models; re-check keeps approximate
+      // EligibleRadius implementations safe (same policy as
+      // EligibilityIndex).
+      if (instance_.Eligible(worker.index, t)) out->push_back(t);
+    });
+    // The grid emits cell order; the scheduler contract wants ascending ids.
+    std::sort(out->begin(), out->end());
+    return;
+  }
+  for (std::int64_t t = 0; t < instance_.num_tasks(); ++t) {
+    if (open_[static_cast<std::size_t>(t)] &&
+        instance_.Eligible(worker.index, static_cast<model::TaskId>(t))) {
+      out->push_back(static_cast<model::TaskId>(t));
+    }
+  }
+}
+
+Status StreamPipeline::CommitBatch(double flush_time) {
+  if (batch_.empty()) return Status::OK();
+  const std::size_t n = batch_.size();
+  ++batches_;
+  max_batch_size_ = std::max(max_batch_size_, static_cast<std::int64_t>(n));
+
+  // Strictly in arrival order. The scheduler re-filters tasks completed by
+  // earlier workers of this batch; the pipeline closes completed tasks
+  // immediately so the next batch's gather never sees them.
+  for (std::size_t i = 0; i < n; ++i) {
+    const model::Worker& w =
+        instance_.workers[static_cast<std::size_t>(batch_[i]) - 1];
+    LTC_RETURN_IF_ERROR(scheduler_->OnArrivalWithCandidates(
+        w, gather_slots_[i], &assigned_scratch_));
+    for (model::TaskId t : assigned_scratch_) {
+      pending_assignments_.push_back(StreamAssignment{
+          flush_time, worker_global_[static_cast<std::size_t>(w.index) - 1],
+          task_global_[static_cast<std::size_t>(t)]});
+      assignment_latency_samples_.push_back(
+          flush_time - task_arrival_time_[static_cast<std::size_t>(t)]);
+    }
+    CloseCompleted(assigned_scratch_, flush_time);
+  }
+  batch_.clear();
+  return Status::OK();
+}
+
+void StreamPipeline::CloseCompleted(
+    const std::vector<model::TaskId>& assigned, double flush_time) {
+  for (model::TaskId t : assigned) {
+    const auto slot = static_cast<std::size_t>(t);
+    if (!open_[slot]) continue;
+    if (!scheduler_->arrangement().TaskCompleted(t)) continue;
+    open_[slot] = 0;
+    if (grid_.has_value()) {
+      // The id is present by the open_ invariant.
+      const Status removed = grid_->Remove(t);
+      (void)removed;
+    }
+    completion_latency_samples_.push_back(flush_time -
+                                          task_arrival_time_[slot]);
+    pending_closed_.push_back(task_global_[slot]);
+    ++tasks_completed_;
+  }
+}
+
+Status StreamPipeline::Validate() const {
+  if (instance_.num_tasks() == 0) return Status::OK();
+  return model::ValidateArrangement(instance_, scheduler_->arrangement(),
+                                    /*require_completion=*/false);
+}
+
+std::int64_t StreamPipeline::open_tasks() const {
+  std::int64_t open = 0;
+  for (char o : open_) open += o != 0 ? 1 : 0;
+  return open;
+}
+
+std::int64_t StreamPipeline::workers_used() const {
+  const model::Arrangement& arr = scheduler_->arrangement();
+  std::int64_t used = 0;
+  for (model::WorkerIndex w = 1; w <= arr.MaxWorkerIndex(); ++w) {
+    if (arr.Load(w) > 0) ++used;
+  }
+  return used;
+}
+
+// --- StreamEngine ---------------------------------------------------------
+
+StatusOr<std::unique_ptr<StreamEngine>> StreamEngine::Create(
+    const io::EventLog& header, const StreamOptions& options) {
+  if (options.threads < 0) {
+    return Status::InvalidArgument("threads must be >= 0");
+  }
+  if (options.shards != 1) {
+    return Status::InvalidArgument(
+        "StreamEngine is the single-pipeline engine; shards > 1 runs go "
+        "through ShardedStreamEngine (or ReplayEventLog, which dispatches)");
   }
 
   std::unique_ptr<StreamEngine> engine(new StreamEngine(options));
-  engine->instance_.epsilon = header.epsilon;
-  engine->instance_.capacity = header.capacity;
-  engine->instance_.acc_min = header.acc_min;
-  engine->instance_.accuracy = header.accuracy;
-
-  LTC_ASSIGN_OR_RETURN(
-      engine->scheduler_,
-      algo::MakeOnlineScheduler(options.algorithm, options.seed));
-  LTC_RETURN_IF_ERROR(engine->scheduler_->InitStreaming(engine->instance_));
-
+  StreamPipeline::Config config;
+  config.algorithm = options.algorithm;
+  config.batch_deadline = options.batch_deadline;
+  config.max_batch = options.max_batch;
+  config.seed = options.seed;
+  config.world = options.world;
   // Same grid geometry rule as EligibilityIndex::Build (shared helper);
   // models without distance structure fall back to scanning the open set.
-  const auto cell =
+  config.cell_size =
       model::SpatialPruningCellSize(*header.accuracy, header.acc_min);
-  if (cell.has_value()) {
-    LTC_ASSIGN_OR_RETURN(auto grid,
-                         geo::GridIndex::BuildDynamic(options.world, *cell));
-    engine->grid_.emplace(std::move(grid));
-  }
+  LTC_ASSIGN_OR_RETURN(engine->pipeline_,
+                       StreamPipeline::Create(header, config));
 
   int threads = options.threads;
   if (threads == 0) threads = ThreadPool::DefaultThreads();
@@ -87,35 +286,18 @@ Status StreamEngine::OnEvent(const io::Event& event) {
 }
 
 Status StreamEngine::HandleTaskArrival(const io::Event& event) {
-  const auto id = static_cast<model::TaskId>(instance_.num_tasks());
-  model::Task task;
-  task.id = id;
-  task.location = event.location;
-  instance_.tasks.push_back(task);
-  task_arrival_time_.push_back(event.time);
-  open_.push_back(1);
-  if (grid_.has_value()) {
-    LTC_RETURN_IF_ERROR(grid_->Insert(id, event.location));
-  }
+  const auto id = static_cast<model::TaskId>(instance().num_tasks());
   ++metrics_.task_events;
-  return scheduler_->OnTaskAdded(id);
+  return pipeline_->AddTask(id, event.time, event.location).status();
 }
 
 Status StreamEngine::HandleWorkerArrival(const io::Event& event) {
-  model::Worker worker;
-  worker.index = static_cast<model::WorkerIndex>(instance_.num_workers() + 1);
-  worker.location = event.location;
-  worker.historical_accuracy = event.accuracy;
-  instance_.workers.push_back(worker);
   ++metrics_.worker_events;
-
-  if (batch_.empty()) batch_open_time_ = event.time;
-  batch_.push_back(worker.index);
-  if (options_.max_batch > 0 &&
-      static_cast<std::int64_t>(batch_.size()) >= options_.max_batch) {
-    return FlushBatch(event.time);
-  }
-  if (options_.batch_deadline == 0.0) {
+  bool hit_max_batch = false;
+  LTC_RETURN_IF_ERROR(pipeline_->BufferWorker(
+      static_cast<model::WorkerIndex>(instance().num_workers() + 1),
+      event.location, event.accuracy, event.time, &hit_max_batch));
+  if (hit_max_batch || options_.batch_deadline == 0.0) {
     return FlushBatch(event.time);
   }
   return Status::OK();
@@ -123,170 +305,95 @@ Status StreamEngine::HandleWorkerArrival(const io::Event& event) {
 
 Status StreamEngine::HandleTaskMove(const io::Event& event) {
   if (event.task < 0 ||
-      static_cast<std::int64_t>(event.task) >= instance_.num_tasks()) {
+      static_cast<std::int64_t>(event.task) >= instance().num_tasks()) {
     return Status::InvalidArgument(
         StrFormat("move event references unknown task %d", event.task));
   }
-  instance_.tasks[static_cast<std::size_t>(event.task)].location =
-      event.location;
-  if (open_[static_cast<std::size_t>(event.task)] && grid_.has_value()) {
-    LTC_RETURN_IF_ERROR(grid_->Relocate(event.task, event.location));
-  }
+  // Single pipeline: global and local task ids coincide.
+  LTC_RETURN_IF_ERROR(pipeline_->MoveTask(event.task, event.location));
   ++metrics_.move_events;
   return Status::OK();
 }
 
 Status StreamEngine::FlushExpired(double now) {
-  if (batch_.empty()) return Status::OK();
-  if (now - batch_open_time_ >= options_.batch_deadline) {
+  if (!pipeline_->has_open_batch()) return Status::OK();
+  if (now - pipeline_->batch_open_time() >= options_.batch_deadline) {
     // The service would have flushed the moment the deadline ran out, not
     // when the next event happened to arrive — commit at that instant.
-    return FlushBatch(batch_open_time_ + options_.batch_deadline);
+    return FlushBatch(pipeline_->batch_open_time() + options_.batch_deadline);
   }
   return Status::OK();
 }
 
-void StreamEngine::GatherCandidates(const model::Worker& worker,
-                                    std::vector<model::TaskId>* out) const {
-  out->clear();
-  if (grid_.has_value()) {
-    const auto radius =
-        instance_.accuracy->EligibleRadius(worker, instance_.acc_min);
-    if (!radius.has_value()) return;  // probe had structure; worker must too
-    if (*radius < 0.0) return;        // empty disk: nothing in reach
-    grid_->ForEachInRadius(worker.location, *radius, [&](std::int64_t id) {
-      const auto t = static_cast<model::TaskId>(id);
-      // Exact for distance-monotone models; re-check keeps approximate
-      // EligibleRadius implementations safe (same policy as
-      // EligibilityIndex).
-      if (instance_.Eligible(worker.index, t)) out->push_back(t);
-    });
-    // The grid emits cell order; the scheduler contract wants ascending ids.
-    std::sort(out->begin(), out->end());
-    return;
-  }
-  for (std::int64_t t = 0; t < instance_.num_tasks(); ++t) {
-    if (open_[static_cast<std::size_t>(t)] &&
-        instance_.Eligible(worker.index, static_cast<model::TaskId>(t))) {
-      out->push_back(static_cast<model::TaskId>(t));
-    }
-  }
-}
-
 Status StreamEngine::FlushBatch(double flush_time) {
-  if (batch_.empty()) return Status::OK();
-  const std::size_t n = batch_.size();
-  ++metrics_.batches;
-  metrics_.max_batch_size =
-      std::max(metrics_.max_batch_size, static_cast<std::int64_t>(n));
-  if (gather_slots_.size() < n) gather_slots_.resize(n);
+  if (!pipeline_->has_open_batch()) return Status::OK();
+  const std::size_t n = pipeline_->batch_size();
+  pipeline_->PrepareGather();
 
   // Phase 1 — gather: each buffered worker's eligible open tasks as of the
-  // flush instant. Pure reads of engine state into index-addressed slots,
+  // flush instant. Pure reads of pipeline state into index-addressed slots,
   // so the fan-out is deterministic at any pool size.
   if (pool_ != nullptr && n > 1) {
     std::vector<std::future<void>> futures;
     futures.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
-      futures.push_back(pool_->Submit([this, i] {
-        const model::Worker& w =
-            instance_.workers[static_cast<std::size_t>(batch_[i]) - 1];
-        GatherCandidates(w, &gather_slots_[i]);
-      }));
+      futures.push_back(pool_->Submit([this, i] { pipeline_->GatherSlot(i); }));
     }
-    // Consume every future before any early return: an abandoned future's
-    // task would still run from the pool's drain-on-destruction and write
-    // into members destroyed before pool_ (member order puts pool_ above
-    // the slots, so slots die first).
-    Status gather_status = Status::OK();
-    for (auto& f : futures) {
-      try {
-        f.get();
-      } catch (const std::exception& e) {
-        if (gather_status.ok()) {
-          gather_status =
-              Status::Internal(std::string("gather task threw: ") + e.what());
-        }
-      }
-    }
-    LTC_RETURN_IF_ERROR(gather_status);
+    LTC_RETURN_IF_ERROR(ConsumeFutures(&futures, "gather"));
   } else {
-    for (std::size_t i = 0; i < n; ++i) {
-      const model::Worker& w =
-          instance_.workers[static_cast<std::size_t>(batch_[i]) - 1];
-      GatherCandidates(w, &gather_slots_[i]);
-    }
+    for (std::size_t i = 0; i < n; ++i) pipeline_->GatherSlot(i);
   }
 
-  // Phase 2 — commit: strictly in arrival order. The scheduler re-filters
-  // tasks completed by earlier workers of this batch; the engine closes
-  // completed tasks immediately so the next batch's gather never sees them.
-  for (std::size_t i = 0; i < n; ++i) {
-    const model::Worker& w =
-        instance_.workers[static_cast<std::size_t>(batch_[i]) - 1];
-    LTC_RETURN_IF_ERROR(scheduler_->OnArrivalWithCandidates(
-        w, gather_slots_[i], &assigned_scratch_));
-    for (model::TaskId t : assigned_scratch_) {
-      assignments_.push_back(StreamAssignment{flush_time, w.index, t});
-      assignment_latency_samples_.push_back(
-          flush_time - task_arrival_time_[static_cast<std::size_t>(t)]);
-      ++metrics_.assignments;
-    }
-    CloseCompleted(assigned_scratch_, flush_time);
+  // Phase 2 — commit, then fold the pipeline's pending records into the
+  // engine-wide log.
+  LTC_RETURN_IF_ERROR(pipeline_->CommitBatch(flush_time));
+  for (const StreamAssignment& a : pipeline_->pending_assignments()) {
+    assignments_.push_back(a);
+    ++metrics_.assignments;
   }
-  batch_.clear();
+  pipeline_->pending_assignments().clear();
+  pipeline_->pending_closed().clear();
   return Status::OK();
-}
-
-void StreamEngine::CloseCompleted(const std::vector<model::TaskId>& assigned,
-                                  double flush_time) {
-  for (model::TaskId t : assigned) {
-    const auto slot = static_cast<std::size_t>(t);
-    if (!open_[slot]) continue;
-    if (!scheduler_->arrangement().TaskCompleted(t)) continue;
-    open_[slot] = 0;
-    if (grid_.has_value()) {
-      // The id is present by the open_ invariant.
-      const Status removed = grid_->Remove(t);
-      (void)removed;
-    }
-    completion_latency_samples_.push_back(flush_time - task_arrival_time_[slot]);
-    ++metrics_.tasks_completed;
-  }
 }
 
 StatusOr<StreamMetrics> StreamEngine::Finish() {
   if (finished_) {
     return Status::FailedPrecondition("Finish called twice");
   }
-  if (!batch_.empty()) {
+  if (pipeline_->has_open_batch()) {
     // The service waits out the deadline for the final stragglers.
-    LTC_RETURN_IF_ERROR(
-        FlushBatch(batch_open_time_ + options_.batch_deadline));
+    LTC_RETURN_IF_ERROR(FlushBatch(pipeline_->batch_open_time() +
+                                   options_.batch_deadline));
   }
   finished_ = true;
   metrics_.last_event_time = last_event_time_;
-  metrics_.open_tasks = 0;
-  for (char o : open_) metrics_.open_tasks += o != 0 ? 1 : 0;
+  metrics_.batches = pipeline_->batches();
+  metrics_.max_batch_size = pipeline_->max_batch_size();
+  metrics_.tasks_completed = pipeline_->tasks_completed();
+  metrics_.open_tasks = pipeline_->open_tasks();
+  metrics_.shards = 1;
   metrics_.assignment_latency =
-      sim::SummarizeLatencies(&assignment_latency_samples_);
+      sim::SummarizeLatencies(pipeline_->mutable_assignment_latency_samples());
   metrics_.completion_latency =
-      sim::SummarizeLatencies(&completion_latency_samples_);
+      sim::SummarizeLatencies(pipeline_->mutable_completion_latency_samples());
 
   if (options_.validate && metrics_.move_events == 0 &&
-      instance_.num_tasks() > 0) {
-    LTC_RETURN_IF_ERROR(model::ValidateArrangement(
-        instance_, scheduler_->arrangement(),
-        /*require_completion=*/false));
+      instance().num_tasks() > 0) {
+    LTC_RETURN_IF_ERROR(pipeline_->Validate());
     metrics_.validated = true;
   }
   return metrics_;
 }
 
+// --- ReplayEventLog -------------------------------------------------------
+
 StatusOr<ReplayResult> ReplayEventLog(
     const io::EventLog& log, const StreamOptions& options,
     std::vector<StreamAssignment>* assignments_out) {
   LTC_RETURN_IF_ERROR(log.Validate());
+  if (options.shards < 1) {
+    return Status::InvalidArgument("shards must be >= 1");
+  }
   StreamOptions resolved = options;
   // The replay knows the whole log, so fix the grid geometry to cover every
   // location it will ever see (union with the configured world).
@@ -295,6 +402,31 @@ StatusOr<ReplayResult> ReplayEventLog(
     resolved.world.min_y = std::min(resolved.world.min_y, e.location.y);
     resolved.world.max_x = std::max(resolved.world.max_x, e.location.x);
     resolved.world.max_y = std::max(resolved.world.max_y, e.location.y);
+  }
+
+  if (resolved.shards > 1) {
+    Stopwatch watch;
+    LTC_ASSIGN_OR_RETURN(auto engine,
+                         ShardedStreamEngine::Create(log, resolved));
+    for (const io::Event& e : log.events) {
+      LTC_RETURN_IF_ERROR(engine->OnEvent(e));
+    }
+    ReplayResult result;
+    LTC_ASSIGN_OR_RETURN(result.stream, engine->Finish());
+    result.run.algorithm = resolved.algorithm;
+    result.run.latency = engine->max_assigned_worker();
+    result.run.completed =
+        result.stream.tasks_completed == result.stream.task_events;
+    result.run.runtime_seconds = watch.ElapsedSeconds();
+    result.run.assignment_latency = result.stream.assignment_latency;
+    result.run.stats.workers_seen = result.stream.worker_events;
+    result.run.stats.assignments = result.stream.assignments;
+    result.run.stats.total_acc_star = engine->total_acc_star();
+    result.run.stats.workers_used = engine->workers_used();
+    if (assignments_out != nullptr) {
+      *assignments_out = engine->assignments();
+    }
+    return result;
   }
 
   Stopwatch watch;

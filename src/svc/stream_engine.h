@@ -1,6 +1,8 @@
 // The streaming service layer: an event-driven engine that turns the repo's
 // closed-world batch replay into a long-running, arrival-driven service
-// (DESIGN.md §8).
+// (DESIGN.md §8), and — since PR 5 — the per-shard pipeline core the
+// spatially partitioned service (sharded_engine.h, DESIGN.md §9) fans out
+// over.
 //
 // Where sim::RunOnline replays a fully materialised ProblemInstance,
 // StreamEngine consumes worker/task *arrival events* (io::Event) one at a
@@ -15,15 +17,17 @@
 //
 // Determinism contract: every schedule-dependent output — the assignment
 // log, per-assignment latencies, completion counts — is a function of
-// (event log, options.algorithm, options.seed) only, bit-identical for any
-// options.threads value. Candidate gathering is a pure read of flush-time
-// state fanned out over a common::ThreadPool into index-addressed slots;
-// commits happen sequentially in arrival order (the PR-3 discipline).
+// (event log, options.algorithm, options.seed, options.shards) only,
+// bit-identical for any options.threads value. Candidate gathering is a
+// pure read of flush-time state fanned out over a common::ThreadPool into
+// index-addressed slots; commits happen sequentially in arrival order
+// within a pipeline (the PR-3 discipline).
 
 #ifndef LTC_SVC_STREAM_ENGINE_H_
 #define LTC_SVC_STREAM_ENGINE_H_
 
 #include <cstdint>
+#include <future>
 #include <memory>
 #include <optional>
 #include <string>
@@ -58,6 +62,10 @@ struct StreamOptions {
   /// Candidate-gathering threads (0 = hardware concurrency). Output is
   /// bit-identical for every value.
   int threads = 1;
+  /// Spatial shards (grid-aligned stripes; DESIGN.md §9). 1 = the classic
+  /// single-pipeline engine; K > 1 replays through ShardedStreamEngine.
+  /// The assignment log is pinned per K and byte-identical across threads.
+  int shards = 1;
   /// World rectangle fixing the incremental grid's geometry for the
   /// engine's lifetime (arrivals outside it clamp into boundary cells,
   /// which stays correct — see geo/grid_index.h). ReplayEventLog derives
@@ -71,7 +79,9 @@ struct StreamOptions {
 };
 
 /// One committed assignment, in commit order — the deterministic record the
-/// ltc_serve assignment log serialises.
+/// ltc_serve assignment log serialises. Worker and task are *global*
+/// identities (arrival index / dense event-log id) in every mode; sharded
+/// pipelines translate from their local ids before emitting.
 struct StreamAssignment {
   /// Batch flush (commit) time.
   double time = 0.0;
@@ -92,6 +102,14 @@ struct StreamMetrics {
   /// Tasks still short of delta when the stream ended.
   std::int64_t open_tasks = 0;
   double last_event_time = 0.0;
+  /// Spatial shards the run was served with (1 = unsharded).
+  std::int64_t shards = 1;
+  /// Workers whose eligibility disk crossed a stripe edge (offered to more
+  /// than one shard under the handoff protocol; 0 when shards == 1).
+  std::int64_t boundary_workers = 0;
+  /// Shard offers dropped because another shard had already claimed the
+  /// worker (one worker can contribute to several skips).
+  std::int64_t handoff_skips = 0;
   /// Commit time minus assigned task's arrival time, per assignment.
   sim::LatencySummary assignment_latency;
   /// Completing commit time minus arrival time, per completed task.
@@ -100,7 +118,163 @@ struct StreamMetrics {
   bool validated = false;
 };
 
-/// \brief The event-driven micro-batch admission engine.
+/// Consumes every future in *futures, converting the first thrown
+/// exception into an Internal status. Every fan-out in the svc layer MUST
+/// drain its futures through this (no early return past a live future): an
+/// abandoned future's task would still run from the pool's
+/// drain-on-destruction and touch engine state that is destroyed before
+/// the pool member. `what` names the fan-out in the error ("gather",
+/// "commit").
+Status ConsumeFutures(std::vector<std::future<void>>* futures,
+                      const char* what);
+
+/// \brief The per-pipeline core: one growing instance, one streaming
+/// scheduler, one incremental open-task index, one micro-batch buffer.
+///
+/// This is the piece PR 4's StreamEngine was built around, extracted so the
+/// sharded service can run K of them side by side. The driving engine owns
+/// event routing, flush scheduling and the thread pool; the pipeline owns
+/// every id-translated, shard-local piece of state. Not movable once
+/// created (the scheduler holds a pointer into the growing instance).
+///
+/// Thread-safety contract: all mutating calls are engine-thread-only,
+/// except that (a) GatherSlot calls with distinct slot indices may run
+/// concurrently once the engine stopped mutating, and (b) CommitBatch
+/// calls on *different* pipelines may run concurrently (a pipeline touches
+/// only its own state).
+class StreamPipeline {
+ public:
+  struct Config {
+    std::string algorithm = "LAF";
+    double batch_deadline = 0.0;
+    std::int64_t max_batch = 0;
+    std::uint64_t seed = 42;
+    /// Shard identity forwarded to the scheduler ({0, 1} when unsharded).
+    int shard_id = 0;
+    int num_shards = 1;
+    /// Grid geometry for the incremental index (the full world rectangle —
+    /// shards own a stripe of *tasks*, not a cropped grid).
+    geo::Rect world{0.0, 0.0, 1000.0, 1000.0};
+    /// Cell size for the incremental grid; nullopt = scan fallback.
+    std::optional<double> cell_size;
+  };
+
+  /// Creates a pipeline for a stream with `header`'s instance parameters.
+  static StatusOr<std::unique_ptr<StreamPipeline>> Create(
+      const io::EventLog& header, const Config& config);
+
+  StreamPipeline(const StreamPipeline&) = delete;
+  StreamPipeline& operator=(const StreamPipeline&) = delete;
+
+  // --- Stream mutations (engine thread only) ---
+
+  /// Appends the task with global id `global_id`; returns its local id.
+  StatusOr<model::TaskId> AddTask(model::TaskId global_id, double time,
+                                  const geo::Point& location);
+  /// Relocates local task `local_id` (grid update only while it is open).
+  Status MoveTask(model::TaskId local_id, const geo::Point& location);
+  /// Appends the worker (global arrival index `global_index`) and buffers
+  /// it into the open batch. *hit_max_batch reports that the batch reached
+  /// config.max_batch and must flush now.
+  Status BufferWorker(model::WorkerIndex global_index,
+                      const geo::Point& location, double accuracy,
+                      double time, bool* hit_max_batch);
+
+  // --- Open-batch inspection ---
+
+  bool has_open_batch() const { return !batch_.empty(); }
+  double batch_open_time() const { return batch_open_time_; }
+  std::size_t batch_size() const { return batch_.size(); }
+  model::WorkerIndex batch_global_worker(std::size_t i) const {
+    return worker_global_[static_cast<std::size_t>(batch_[i]) - 1];
+  }
+
+  // --- Flush phases ---
+
+  /// Sizes the gather slots for the open batch. Engine thread, before any
+  /// concurrent GatherSlot.
+  void PrepareGather();
+  /// Fills slot `i` with batch worker i's eligible open tasks (local ids,
+  /// ascending). Pure read of pipeline state; concurrent calls with
+  /// distinct `i` are safe.
+  void GatherSlot(std::size_t i);
+  /// Empties slot `i` (handoff: another shard claimed the worker).
+  void ClearSlot(std::size_t i) { gather_slots_[i].clear(); }
+  bool SlotEmpty(std::size_t i) const { return gather_slots_[i].empty(); }
+
+  /// Commits the batch at `flush_time`: drives the scheduler per buffered
+  /// worker in arrival order over the gathered slots, records pending
+  /// assignments/closures, closes completed tasks. Safe to run
+  /// concurrently with other pipelines' CommitBatch.
+  Status CommitBatch(double flush_time);
+
+  // --- Per-round outputs (engine merges after CommitBatch, then clears) ---
+
+  /// Assignments committed by the last CommitBatch, global ids, commit
+  /// order.
+  std::vector<StreamAssignment>& pending_assignments() {
+    return pending_assignments_;
+  }
+  /// Global ids of tasks closed by the last CommitBatch.
+  std::vector<model::TaskId>& pending_closed() { return pending_closed_; }
+
+  // --- Finish-time accessors ---
+
+  /// Full arrangement validation over the pipeline's local instance (no-op
+  /// when the pipeline holds no tasks).
+  Status Validate() const;
+
+  const model::ProblemInstance& instance() const { return instance_; }
+  const model::Arrangement& arrangement() const {
+    return scheduler_->arrangement();
+  }
+  bool spatial() const { return grid_.has_value(); }
+  std::int64_t batches() const { return batches_; }
+  std::int64_t max_batch_size() const { return max_batch_size_; }
+  std::int64_t tasks_completed() const { return tasks_completed_; }
+  std::int64_t open_tasks() const;
+  /// Distinct (local) workers holding at least one assignment.
+  std::int64_t workers_used() const;
+  std::vector<double>* mutable_assignment_latency_samples() {
+    return &assignment_latency_samples_;
+  }
+  std::vector<double>* mutable_completion_latency_samples() {
+    return &completion_latency_samples_;
+  }
+
+ private:
+  explicit StreamPipeline(const Config& config) : config_(config) {}
+
+  /// Marks completed-but-open tasks of `assigned` (local ids) closed.
+  void CloseCompleted(const std::vector<model::TaskId>& assigned,
+                      double flush_time);
+
+  Config config_;
+  model::ProblemInstance instance_;  // grows in place; never reallocated as
+                                     // a whole (schedulers hold a pointer)
+  std::unique_ptr<algo::OnlineScheduler> scheduler_;
+  std::optional<geo::GridIndex> grid_;  // open tasks; nullopt = scan fallback
+  std::vector<char> open_;              // open_[local]: arrived, below delta
+  std::vector<double> task_arrival_time_;      // by local task id
+  std::vector<model::TaskId> task_global_;     // local task -> global id
+  std::vector<model::WorkerIndex> worker_global_;  // local-1 -> global index
+
+  // Open batch: local worker indices of buffered arrivals.
+  std::vector<model::WorkerIndex> batch_;
+  double batch_open_time_ = 0.0;
+
+  std::vector<std::vector<model::TaskId>> gather_slots_;
+  std::vector<model::TaskId> assigned_scratch_;
+  std::vector<StreamAssignment> pending_assignments_;
+  std::vector<model::TaskId> pending_closed_;
+  std::vector<double> assignment_latency_samples_;
+  std::vector<double> completion_latency_samples_;
+  std::int64_t batches_ = 0;
+  std::int64_t max_batch_size_ = 0;
+  std::int64_t tasks_completed_ = 0;
+};
+
+/// \brief The event-driven micro-batch admission engine (single pipeline).
 ///
 /// Not movable once created: the scheduler holds a pointer to the engine's
 /// growing instance, so Create hands out a unique_ptr.
@@ -108,7 +282,8 @@ class StreamEngine {
  public:
   /// Creates an engine for a stream with `header`'s instance parameters
   /// (epsilon, capacity, acc_min, accuracy model; `header.events` is not
-  /// consumed — feed events through OnEvent).
+  /// consumed — feed events through OnEvent). options.shards must be 1;
+  /// sharded service runs go through ShardedStreamEngine.
   static StatusOr<std::unique_ptr<StreamEngine>> Create(
       const io::EventLog& header, const StreamOptions& options);
 
@@ -125,10 +300,12 @@ class StreamEngine {
   StatusOr<StreamMetrics> Finish();
 
   /// The world materialised so far (grows per event).
-  const model::ProblemInstance& instance() const { return instance_; }
+  const model::ProblemInstance& instance() const {
+    return pipeline_->instance();
+  }
   /// The arrangement committed so far.
   const model::Arrangement& arrangement() const {
-    return scheduler_->arrangement();
+    return pipeline_->arrangement();
   }
   /// Every committed assignment in commit order.
   const std::vector<StreamAssignment>& assignments() const {
@@ -136,7 +313,7 @@ class StreamEngine {
   }
   /// True while the incremental grid is in use (distance-structured
   /// accuracy model); false on the scan fallback.
-  bool spatial() const { return grid_.has_value(); }
+  bool spatial() const { return pipeline_->spatial(); }
 
  private:
   explicit StreamEngine(const StreamOptions& options) : options_(options) {}
@@ -145,36 +322,14 @@ class StreamEngine {
   Status HandleWorkerArrival(const io::Event& event);
   Status HandleTaskMove(const io::Event& event);
 
-  /// Flushes every batch whose deadline expired at or before `now`.
+  /// Flushes the batch if its deadline expired at or before `now`.
   Status FlushExpired(double now);
-  /// Commits the buffered batch at `flush_time`.
+  /// Runs one gather + commit flush of the open batch at `flush_time`.
   Status FlushBatch(double flush_time);
-  /// Fills *out with `worker`'s eligible open tasks, ascending by id. Pure
-  /// read of current engine state (thread-safe during the gather fan-out).
-  void GatherCandidates(const model::Worker& worker,
-                        std::vector<model::TaskId>* out) const;
-  /// Marks completed-but-open tasks of `assigned` closed: removes them from
-  /// the incremental index and records completion latency.
-  void CloseCompleted(const std::vector<model::TaskId>& assigned,
-                      double flush_time);
 
   StreamOptions options_;
-  model::ProblemInstance instance_;  // grows in place; never reallocated as
-                                     // a whole (schedulers hold a pointer)
-  std::unique_ptr<algo::OnlineScheduler> scheduler_;
-  std::optional<geo::GridIndex> grid_;  // open tasks; nullopt = scan fallback
-  std::vector<char> open_;              // open_[t]: arrived and below delta
-  std::vector<double> task_arrival_time_;
-
-  // Open batch: indices into instance_.workers of buffered arrivals.
-  std::vector<model::WorkerIndex> batch_;
-  double batch_open_time_ = 0.0;
-
+  std::unique_ptr<StreamPipeline> pipeline_;
   std::vector<StreamAssignment> assignments_;
-  std::vector<double> assignment_latency_samples_;
-  std::vector<double> completion_latency_samples_;
-  std::vector<std::vector<model::TaskId>> gather_slots_;
-  std::vector<model::TaskId> assigned_scratch_;
   StreamMetrics metrics_;
   double last_event_time_ = 0.0;
   bool finished_ = false;
@@ -188,8 +343,10 @@ class StreamEngine {
 /// Replays a whole event log through a fresh engine: derives the world
 /// rectangle from the log's locations (unless `options.world` is already
 /// non-degenerate... the log's bounding box always wins when it is larger),
-/// feeds every event, and finishes. When `assignments_out` is non-null it
-/// receives the deterministic assignment record.
+/// feeds every event, and finishes. options.shards selects the engine:
+/// 1 replays through StreamEngine, K > 1 through ShardedStreamEngine.
+/// When `assignments_out` is non-null it receives the deterministic
+/// assignment record.
 struct ReplayResult {
   StreamMetrics stream;
   /// The sim::RunMetrics view: latency = max worker index, completed,

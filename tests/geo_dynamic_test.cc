@@ -137,6 +137,51 @@ TEST(GridIndexDynamicTest, RandomSequencesMatchRebuiltIndex) {
   }
 }
 
+// Directed regression for the insert-side clamp: a Relocate (or Insert) to
+// a coordinate outside the built bounds must land in the clamped edge cell
+// — the same cell the query window clamps to — so radius and k-NN queries
+// keep finding the point. Exercises all four sides plus the corners at
+// points less than one cell beyond the edge (where truncation-vs-floor
+// bugs hide) and far beyond it.
+TEST(GridIndexDynamicTest, RelocateOutsideBoundsStaysQueryable) {
+  const Rect world{0.0, 0.0, 100.0, 100.0};
+  const std::vector<Point> destinations = {
+      {-0.5, 50.0},   {100.5, 50.0},  {50.0, -0.5},   {50.0, 100.5},
+      {-0.5, -0.5},   {100.5, 100.5}, {-40.0, 50.0},  {140.0, 50.0},
+      {50.0, -40.0},  {50.0, 140.0},  {-40.0, -40.0}, {140.0, 140.0},
+  };
+  for (double cell_size : {1.0, 7.0, 30.0}) {
+    auto built = GridIndex::BuildDynamic(world, cell_size);
+    ASSERT_TRUE(built.ok());
+    GridIndex index = std::move(built).value();
+    ASSERT_TRUE(index.Insert(0, {50.0, 50.0}).ok());
+
+    for (const Point& p : destinations) {
+      ASSERT_TRUE(index.Relocate(0, p).ok());
+      // Radius queries centred on the point (and just inside the world)
+      // find it.
+      std::vector<std::int64_t> got;
+      index.QueryRadius(p, 0.0, &got);
+      EXPECT_EQ(got, std::vector<std::int64_t>{0})
+          << "cell " << cell_size << " point (" << p.x << ", " << p.y << ")";
+      index.QueryRadius({50.0, 50.0}, 200.0, &got);
+      EXPECT_EQ(got, std::vector<std::int64_t>{0});
+      // k-NN from anywhere still surfaces the only live point.
+      index.KNearest({50.0, 50.0}, 1, &got);
+      EXPECT_EQ(got, std::vector<std::int64_t>{0});
+      EXPECT_EQ(index.Nearest(p), 0);
+      // A fresh insert at the same out-of-bounds location agrees with the
+      // relocated index (insert-side and relocate-side clamp match).
+      auto fresh = GridIndex::BuildDynamic(world, cell_size);
+      ASSERT_TRUE(fresh.ok());
+      ASSERT_TRUE(fresh.value().Insert(0, p).ok());
+      std::vector<std::int64_t> fresh_got;
+      fresh.value().QueryRadius(p, 0.0, &fresh_got);
+      EXPECT_EQ(fresh_got, std::vector<std::int64_t>{0});
+    }
+  }
+}
+
 TEST(GridIndexDynamicTest, MutationErrors) {
   auto built = GridIndex::BuildDynamic(Rect{0, 0, 10, 10}, 1.0);
   ASSERT_TRUE(built.ok());

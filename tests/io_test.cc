@@ -1,9 +1,12 @@
-// Tests for workload/arrangement (de)serialisation.
+// Tests for workload/arrangement (de)serialisation and the robustness of
+// the ltc-events v1 reader (truncation, CRLF line endings).
 
 #include <gtest/gtest.h>
 
 #include "gen/example_paper.h"
+#include "gen/stream.h"
 #include "gen/synthetic.h"
+#include "io/event_log.h"
 #include "io/workload_io.h"
 #include "model/eligibility.h"
 #include "sim/engine.h"
@@ -124,6 +127,63 @@ TEST(ArrangementIoTest, RoundTripPreservesAssignments) {
     EXPECT_NEAR(parsed->accumulated(static_cast<model::TaskId>(t)),
                 original.accumulated(static_cast<model::TaskId>(t)), 1e-9);
   }
+}
+
+std::string SmallEventLogText() {
+  gen::StreamConfig cfg;
+  cfg.num_tasks = 5;
+  cfg.num_workers = 40;
+  cfg.seed = 17;
+  auto log = gen::GenerateStreamEvents(cfg);
+  log.status().CheckOK();
+  auto text = SerializeEventLog(log.value());
+  text.status().CheckOK();
+  return std::move(text).value();
+}
+
+// A file cut mid-record must fail loudly: a truncated coordinate or
+// accuracy field can still parse as a perfectly valid (wrong) number, so
+// the reader treats a missing final newline as truncation rather than
+// risking a silently mangled last event.
+TEST(EventLogIoTest, TruncatedFinalLineIsACleanError) {
+  const std::string text = SmallEventLogText();
+  ASSERT_EQ(text.back(), '\n');
+
+  // Cut inside the last record (drop the newline plus a few characters).
+  const std::string truncated = text.substr(0, text.size() - 4);
+  const auto parsed = ParseEventLog(truncated);
+  ASSERT_TRUE(parsed.status().IsInvalidArgument()) << parsed.status().ToString();
+  EXPECT_NE(parsed.status().ToString().find("truncated"), std::string::npos)
+      << parsed.status().ToString();
+
+  // Even a cut that lands exactly on the record boundary (newline gone,
+  // record text complete) reads as truncation — writers always terminate.
+  const std::string no_newline = text.substr(0, text.size() - 1);
+  EXPECT_TRUE(ParseEventLog(no_newline).status().IsInvalidArgument());
+
+  // Dropping whole records keeps the declared-count check as the backstop.
+  const std::string last_line_start = text.substr(0, text.rfind('\n'));
+  const std::string whole_line_gone =
+      text.substr(0, last_line_start.rfind('\n') + 1);
+  EXPECT_TRUE(ParseEventLog(whole_line_gone).status().IsInvalidArgument());
+}
+
+// CRLF-terminated logs (a file that went through a Windows editor or a
+// "text mode" transfer) must parse to the same stream, byte for byte after
+// re-serialisation.
+TEST(EventLogIoTest, CrlfTerminatedLogParsesTolerantly) {
+  const std::string text = SmallEventLogText();
+  std::string crlf;
+  crlf.reserve(text.size() + 64);
+  for (char c : text) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  const auto parsed = ParseEventLog(crlf);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const auto round = SerializeEventLog(parsed.value());
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round.value(), text);
 }
 
 TEST(ArrangementIoTest, RejectsBadReferences) {

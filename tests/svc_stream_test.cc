@@ -256,6 +256,37 @@ TEST(LatencySummaryTest, NearestRankPercentiles) {
   EXPECT_DOUBLE_EQ(zero.max, 0.0);
 }
 
+// Regression for the nearest-rank rank computation: q*n products that are
+// meant to be integral must not overshoot their rank through the FP
+// representation of q (0.95 and 0.99 are not exact doubles), and tiny q*n
+// must clamp to rank 1, never rank 0. Pinned at n = 1, 2, 100.
+TEST(LatencySummaryTest, NearestRankExactAtIntegralProducts) {
+  // n = 1: every percentile is the single sample.
+  std::vector<double> one = {7.5};
+  const sim::LatencySummary s1 = sim::SummarizeLatencies(&one);
+  EXPECT_DOUBLE_EQ(s1.p50, 7.5);
+  EXPECT_DOUBLE_EQ(s1.p95, 7.5);
+  EXPECT_DOUBLE_EQ(s1.p99, 7.5);
+
+  // n = 2: p50 has the integral product 0.5 * 2 = 1 — it must pick the
+  // *first* sample (rank 1), not round up to the second; p95/p99 round the
+  // fractional 1.9/1.98 up to rank 2.
+  std::vector<double> two = {3.0, 9.0};
+  const sim::LatencySummary s2 = sim::SummarizeLatencies(&two);
+  EXPECT_DOUBLE_EQ(s2.p50, 3.0);
+  EXPECT_DOUBLE_EQ(s2.p95, 9.0);
+  EXPECT_DOUBLE_EQ(s2.p99, 9.0);
+
+  // n = 100: all three products are integral (50, 95, 99) and must land
+  // exactly on those ranks for any FP representation of q.
+  std::vector<double> hundred;
+  for (int i = 100; i >= 1; --i) hundred.push_back(static_cast<double>(i));
+  const sim::LatencySummary s100 = sim::SummarizeLatencies(&hundred);
+  EXPECT_DOUBLE_EQ(s100.p50, 50.0);
+  EXPECT_DOUBLE_EQ(s100.p95, 95.0);
+  EXPECT_DOUBLE_EQ(s100.p99, 99.0);
+}
+
 }  // namespace
 }  // namespace svc
 }  // namespace ltc

@@ -20,11 +20,16 @@ Accepted file shapes:
   * a baseline file whose comparable run lives under "current"
     (BENCH_PR2.json: {"figure": ..., "current": {"cases": [...]}}).
 
+A baseline value of exactly 0 has no relative drift; those cells fall
+back to an absolute comparison (|current - baseline| against the same
+tolerance, in the metric's own units) instead of being skipped.
+
 Usage:
   tools/bench_compare.py --current bench_smoke.json --baseline BENCH_PR2.json
   tools/bench_compare.py ... --metric mean_latency --tolerance 0.25
   tools/bench_compare.py ... \\
       --gate mean_assignment_latency:0.25 --gate events_per_sec:0.9:floor
+  tools/bench_compare.py --selftest     # unit checks (run by CI bench-smoke)
 """
 
 import argparse
@@ -111,14 +116,90 @@ def parse_gates(args):
     return gates
 
 
+def compare_cells(baseline, current, gates):
+    """Diffs every shared (figure, case, algorithm) cell for every gate.
+
+    Returns (shared_cells, rows, failures). A row is (figure, label, name,
+    metric, tolerance, base, cur, drift, mode, status) where mode is "rel"
+    for the usual relative-drift comparison and "abs" for the zero-baseline
+    fallback: a baseline value of exactly 0 (a zero p50 at tiny scale, say)
+    has no well-defined relative drift, so the tolerance is applied to the
+    absolute difference in the metric's own units instead of silently
+    skipping the cell."""
+    shared_cells = 0
+    rows = []
+    failures = []
+    for figure in sorted(set(baseline) & set(current)):
+        base_cells = baseline[figure]
+        cur_cells = current[figure]
+        for key in sorted(set(base_cells) & set(cur_cells)):
+            shared_cells += 1
+            base_algo = base_cells[key]
+            cur_algo = cur_cells[key]
+            for metric, tolerance, floor_only in gates:
+                base_value = base_algo.get(metric)
+                cur_value = cur_algo.get(metric)
+                if base_value is None or cur_value is None:
+                    continue  # e.g. BENCH_PR2's 'before' block has no latency
+                if base_value == 0:
+                    mode = "abs"
+                    drift = cur_value - base_value
+                else:
+                    mode = "rel"
+                    drift = (cur_value - base_value) / abs(base_value)
+                if floor_only:
+                    bad = drift < -tolerance  # improvements never fail
+                else:
+                    bad = abs(drift) > tolerance
+                status = "DRIFT" if bad else "ok"
+                rows.append((figure, key[0], key[1], metric, tolerance,
+                             base_value, cur_value, drift, mode, status))
+                if bad:
+                    failures.append(rows[-1])
+    return shared_cells, rows, failures
+
+
+def selftest():
+    """Unit checks of the comparison core (run by CI's bench-smoke job)."""
+    gates_rel = [("m", 0.25, False)]
+    gates_floor = [("m", 0.9, True)]
+
+    def suites(value):
+        return {"fig": {("c", "A"): {"m": value}}}
+
+    # Zero baseline: absolute fallback, not a silent skip.
+    shared, rows, failures = compare_cells(suites(0.0), suites(0.0), gates_rel)
+    assert shared == 1 and len(rows) == 1 and not failures, rows
+    assert rows[0][8] == "abs", rows
+    _, rows, failures = compare_cells(suites(0.0), suites(0.1), gates_rel)
+    assert not failures, rows          # |0.1 - 0| within 0.25 absolute
+    _, rows, failures = compare_cells(suites(0.0), suites(0.5), gates_rel)
+    assert len(failures) == 1, rows    # |0.5 - 0| exceeds 0.25 absolute
+    # Zero-baseline floor gate: a throughput metric can only collapse
+    # upward from 0, so it never fails.
+    _, rows, failures = compare_cells(suites(0.0), suites(123.0), gates_floor)
+    assert not failures, rows
+    # Relative path unchanged: +30% fails a symmetric 25% gate, a floor
+    # gate fails only on drops.
+    _, rows, failures = compare_cells(suites(1.0), suites(1.3), gates_rel)
+    assert len(failures) == 1 and rows[0][8] == "rel", rows
+    _, rows, failures = compare_cells(suites(1.0), suites(5.0), gates_floor)
+    assert not failures, rows
+    _, rows, failures = compare_cells(suites(1.0), suites(0.05), gates_floor)
+    assert len(failures) == 1, rows
+    print("bench_compare: SELFTEST PASS")
+
+
 def main():
     parser = argparse.ArgumentParser(
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter)
-    parser.add_argument("--current", required=True,
+    parser.add_argument("--current",
                         help="bench JSON summary to gate")
-    parser.add_argument("--baseline", required=True,
+    parser.add_argument("--baseline",
                         help="checked-in BENCH_*.json baseline")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the built-in unit checks and exit")
     parser.add_argument("--metric", default="mean_latency",
                         help="algorithm record field to diff (when no --gate)")
     parser.add_argument("--tolerance", type=float, default=0.25,
@@ -132,6 +213,12 @@ def main():
                              ":floor fails only on drops, never improvements")
     args = parser.parse_args()
 
+    if args.selftest:
+        selftest()
+        return
+    if not args.current or not args.baseline:
+        fail("--current and --baseline are required (unless --selftest)")
+
     current = extract_suites(load_json(args.current, "current"), args.current)
     baseline = extract_suites(load_json(args.baseline, "baseline"),
                               args.baseline)
@@ -141,33 +228,7 @@ def main():
     if not shared_figures:
         fail(f"no overlapping figure: baseline has {sorted(baseline)}, "
              f"current has {sorted(current)}")
-    shared_cells = 0
-    rows = []
-    failures = []
-    for figure in shared_figures:
-        base_cells = baseline[figure]
-        cur_cells = current[figure]
-        for key in sorted(set(base_cells) & set(cur_cells)):
-            shared_cells += 1
-            base_algo = base_cells[key]
-            cur_algo = cur_cells[key]
-            for metric, tolerance, floor_only in gates:
-                base_value = base_algo.get(metric)
-                cur_value = cur_algo.get(metric)
-                if base_value is None or cur_value is None:
-                    continue  # e.g. BENCH_PR2's 'before' block has no latency
-                if base_value == 0:
-                    continue
-                drift = (cur_value - base_value) / abs(base_value)
-                if floor_only:
-                    bad = drift < -tolerance  # improvements never fail
-                else:
-                    bad = abs(drift) > tolerance
-                status = "DRIFT" if bad else "ok"
-                rows.append((figure, key[0], key[1], metric, tolerance,
-                             base_value, cur_value, drift, status))
-                if bad:
-                    failures.append(rows[-1])
+    shared_cells, rows, failures = compare_cells(baseline, current, gates)
 
     if shared_cells == 0:
         fail(f"figures overlap but no (case, algorithm) cell does — "
@@ -186,15 +247,18 @@ def main():
     print(header)
     print("-" * len(header))
     for figure, label, name, metric, tolerance, base_value, cur_value, \
-            drift, status in rows:
+            drift, mode, status in rows:
+        shown = f"{drift:+7.1%}" if mode == "rel" else f"{drift:+8.3f}"
         print(f"{figure:20} {label:>8} {name:12} {metric:26} "
-              f"{base_value:12.3f} {cur_value:12.3f} {drift:+7.1%} {status}")
+              f"{base_value:12.3f} {cur_value:12.3f} {shown} {status}")
 
     if failures:
         detail = "; ".join(
-            f"{figure}/{label}/{name} {metric} drifted {drift:+.1%} "
-            f"(tolerance {tolerance:.0%})"
-            for figure, label, name, metric, tolerance, _, _, drift, _
+            f"{figure}/{label}/{name} {metric} drifted "
+            + (f"{drift:+.1%}" if mode == "rel"
+               else f"{drift:+.3f} (absolute; zero baseline)")
+            + f" (tolerance {tolerance:.0%})"
+            for figure, label, name, metric, tolerance, _, _, drift, mode, _
             in failures[:5])
         fail(f"{len(failures)}/{len(rows)} comparison(s) exceed tolerance: "
              f"{detail}")
