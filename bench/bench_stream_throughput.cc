@@ -127,7 +127,10 @@ int Main(int argc, char** argv) {
       {"10k", 250, 10000},
       {"40k", 1000, 40000},
   };
-  const std::vector<std::string> algorithms = {"Random", "LAF", "AAM"};
+  // "MCF" (the streaming MCF-LTC batch scheduler, PR 6) extends the online
+  // roster; bench_compare gates only cells shared with a baseline, so older
+  // baselines without MCF cells still gate cleanly.
+  const std::vector<std::string> algorithms = {"Random", "LAF", "AAM", "MCF"};
 
   std::vector<StreamCase> cases;
   if (FLAG_cases.Get().empty()) {

@@ -6,7 +6,6 @@
 
 #include "common/heap.h"
 #include "common/math_util.h"
-#include "flow/graph.h"
 #include "flow/min_cost_flow.h"
 #include "model/quality.h"
 
@@ -43,19 +42,30 @@ StatusOr<ScheduleResult> McfLtc::Run(const model::ProblemInstance& instance,
       static_cast<std::int64_t>(std::floor(m_real *
                                            options_.first_batch_factor)));
 
-  // ---- Batch-recycled state (allocations only on the high-water mark). ----
-  // The flow network, its builder, and the solver workspace persist across
-  // batches; so do the flat per-pair arrays below, where each batch stores
-  // one Acc* evaluation per eligible (worker, open task) pair and reuses it
-  // for arc costs, flow extraction, stats, and the greedy top-up. Worker
-  // p's pairs occupy [pair_begin[p], pair_begin[p+1]).
-  flow::FlowNetworkBuilder builder;
-  flow::FlowNetwork net;
-  flow::McmfWorkspace workspace;
-  std::vector<model::TaskId> eligible;
-  std::vector<model::TaskId> open_tasks;
-  std::vector<flow::NodeId> task_node(
+  // ---- Cross-batch solver state. ----
+  // The incremental solver is the persistence layer: task demand nodes,
+  // node potentials, and the patched CSR network all survive from batch to
+  // batch, so each solve only augments for the new workers' supply instead
+  // of re-pricing the whole bipartite problem. Workers are added as supply
+  // nodes per batch and retired with kFreeze right after extraction —
+  // their deliveries become permanent consumption and the solver provably
+  // stays warm (no flow-carrying lefts, no live inflow at any solve start).
+  flow::IncrementalMcmfOptions incr_options;
+  incr_options.warm_start = options_.warm_start;
+  incr_options.drift_check_every = options_.drift_check_every;
+  flow::IncrementalMcmf incr(incr_options);
+  std::vector<flow::NodeId> task_right(
       static_cast<std::size_t>(instance.num_tasks()), -1);
+  std::vector<char> task_closed(
+      static_cast<std::size_t>(instance.num_tasks()), 0);
+  std::vector<flow::NodeId> batch_left;
+
+  // Flat per-pair arrays, recycled across batches (allocations only on the
+  // high-water mark): each batch stores one Acc* evaluation per eligible
+  // (worker, open task) pair and reuses it for arc costs, flow extraction,
+  // stats, and the greedy top-up. Worker p's pairs occupy
+  // [pair_begin[p], pair_begin[p+1]).
+  std::vector<model::TaskId> eligible;
   std::vector<std::size_t> pair_begin;
   std::vector<model::TaskId> pair_task;
   std::vector<double> pair_acc;
@@ -76,86 +86,69 @@ StatusOr<ScheduleResult> McfLtc::Run(const model::ProblemInstance& instance,
     pos += take;
     result.stats.workers_seen = pos;
 
-    // ---- Lines 5-6: build the flow network over (batch, open tasks). ----
-    // Open tasks only ever shrink, so clearing the previous batch's
-    // task_node entries covers every set slot.
-    for (const model::TaskId t : open_tasks) {
-      task_node[static_cast<std::size_t>(t)] = -1;
-    }
-    open_tasks.clear();
+    // ---- Lines 5-6: refresh demands, then add the batch's workers. ----
+    // Demand cap = ceil(delta - S[t]) is re-asserted from the arrangement
+    // each batch (top-ups contribute quality outside the flow, so the
+    // solver's own frozen-consumption bookkeeping undershoots). A task that
+    // completed since its node was created gets its deficit zeroed exactly
+    // once and never reopens.
     for (model::TaskId t = 0; t < instance.num_tasks(); ++t) {
-      if (!result.arrangement.TaskCompleted(t)) open_tasks.push_back(t);
-    }
-    const flow::NodeId st = 0;
-    const flow::NodeId ed = 1;
-    builder.Reset(static_cast<flow::NodeId>(2 + nb + open_tasks.size()));
-    for (std::size_t i = 0; i < open_tasks.size(); ++i) {
-      task_node[static_cast<std::size_t>(open_tasks[i])] =
-          static_cast<flow::NodeId>(2 + nb + i);
+      const auto ti = static_cast<std::size_t>(t);
+      if (result.arrangement.TaskCompleted(t)) {
+        if (task_right[ti] >= 0 && !task_closed[ti]) {
+          LTC_RETURN_IF_ERROR(incr.SetDeficit(task_right[ti], 0));
+          task_closed[ti] = 1;
+        }
+        continue;
+      }
+      const double remaining = result.arrangement.Remaining(t);
+      const auto demand = std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(
+                 std::ceil(remaining - model::kQualityTol)));
+      if (task_right[ti] < 0) {
+        task_right[ti] = incr.AddRight(demand);
+      } else {
+        LTC_RETURN_IF_ERROR(incr.SetDeficit(task_right[ti], demand));
+      }
     }
 
     // Worker arcs. Arc costs: -Acc* (scaled); optionally plus an arrival-
     // position epsilon that is strictly smaller than one Acc* quantum, so it
     // only breaks ties. Acc* is evaluated exactly once per eligible pair
-    // here; every later phase reads pair_acc.
+    // here; every later phase reads pair_acc. Workers with no open eligible
+    // task never enter the solver.
     const std::int64_t tie_scale =
         options_.index_tie_break ? static_cast<std::int64_t>(nb) + 1 : 1;
     pair_begin.assign(nb + 1, 0);
     pair_task.clear();
     pair_acc.clear();
     pair_arc.clear();
-    std::int64_t min_arc_cost = 0;
+    batch_left.assign(nb, -1);
     for (std::size_t p = 0; p < nb; ++p) {
       pair_begin[p] = pair_task.size();
       const model::Worker& w = instance.workers[batch_begin + p];
       index.EligibleTasksSorted(w, &eligible);
-      const auto wnode = static_cast<flow::NodeId>(2 + p);
-      bool has_source_arc = false;
       for (model::TaskId t : eligible) {
-        const flow::NodeId tnode = task_node[static_cast<std::size_t>(t)];
-        if (tnode < 0) continue;  // task already completed
-        if (!has_source_arc) {
-          LTC_RETURN_IF_ERROR(
-              builder.AddArc(st, wnode, instance.capacity, 0).status());
-          has_source_arc = true;
-        }
+        if (result.arrangement.TaskCompleted(t)) continue;
+        if (batch_left[p] < 0) batch_left[p] = incr.AddLeft(instance.capacity);
         const double acc_star = instance.AccStar(w.index, t);
         const auto scaled = static_cast<std::int64_t>(
             std::llround(acc_star * kCostScale));
         const std::int64_t cost =
             -scaled * tie_scale +
             (options_.index_tie_break ? static_cast<std::int64_t>(p) : 0);
-        min_arc_cost = std::min(min_arc_cost, cost);
-        LTC_ASSIGN_OR_RETURN(const flow::ArcId arc,
-                             builder.AddArc(wnode, tnode, 1, cost));
+        LTC_ASSIGN_OR_RETURN(
+            const flow::ArcId arc,
+            incr.AddArc(batch_left[p],
+                        task_right[static_cast<std::size_t>(t)], 1, cost));
         pair_task.push_back(t);
         pair_acc.push_back(acc_star);
         pair_arc.push_back(arc);
       }
     }
     pair_begin[nb] = pair_task.size();
-    // Demand arcs: cap = ceil(delta - S[t]).
-    for (model::TaskId t : open_tasks) {
-      const double remaining = result.arrangement.Remaining(t);
-      const auto demand = std::max<std::int64_t>(
-          1, static_cast<std::int64_t>(
-                 std::ceil(remaining - model::kQualityTol)));
-      LTC_RETURN_IF_ERROR(
-          builder.AddArc(task_node[static_cast<std::size_t>(t)], ed, demand, 0)
-              .status());
-    }
-    builder.Build(&net);
 
-    flow::McmfOptions mcmf_options;
-    mcmf_options.early_exit = options_.early_exit;
-    mcmf_options.workspace = &workspace;
-    // The batch network is the layered DAG st -> workers -> tasks -> ed with
-    // negative costs only on worker->task arcs, so the potential seed is
-    // closed-form and the SPFA pass is skipped.
-    mcmf_options.layered_seed = flow::McmfOptions::LayeredSeed{
-        static_cast<flow::NodeId>(2 + nb), min_arc_cost};
-    LTC_ASSIGN_OR_RETURN(auto mcmf,
-                         flow::SspMinCostMaxFlow(&net, st, ed, mcmf_options));
+    LTC_ASSIGN_OR_RETURN(const flow::McmfResult mcmf, incr.Solve());
     ++result.stats.mcf_batches;
     result.stats.mcf_augmentations += mcmf.iterations;
 
@@ -167,7 +160,7 @@ StatusOr<ScheduleResult> McfLtc::Run(const model::ProblemInstance& instance,
     for (std::size_t p = 0; p < nb; ++p) {
       const model::Worker& w = instance.workers[batch_begin + p];
       for (std::size_t k = pair_begin[p]; k < pair_begin[p + 1]; ++k) {
-        if (net.Flow(pair_arc[k]) <= 0) continue;
+        if (incr.ArcFlow(pair_arc[k]) <= 0) continue;
         const model::TaskId t = pair_task[k];
         result.arrangement.Add(w.index, t, pair_acc[k]);
         result.stats.total_acc_star += pair_acc[k];
@@ -197,9 +190,17 @@ StatusOr<ScheduleResult> McfLtc::Run(const model::ProblemInstance& instance,
         ++result.stats.assignments;
       }
     }
+
+    // The batch's workers leave the platform: retire their supply nodes with
+    // deliveries frozen. This is what keeps the next solve warm — no left
+    // carries flow across batches, so the feasibility scan always passes.
+    for (std::size_t p = 0; p < nb; ++p) {
+      if (batch_left[p] < 0) continue;
+      LTC_RETURN_IF_ERROR(incr.RetireLeft(
+          batch_left[p], flow::IncrementalMcmf::RetireMode::kFreeze));
+    }
     // Line 17: loop exits once every task reached delta.
   }
-
   result.completed = result.arrangement.AllCompleted();
   result.latency = result.arrangement.MaxWorkerIndex();
   for (model::WorkerIndex w = 1;

@@ -8,9 +8,11 @@
 //     st --(cap K, cost 0)--> w --(cap 1, cost -Acc*)--> t
 //        --(cap ceil(delta - S[t]), cost 0)--> ed
 //
-// solved with the Successive Shortest Path Algorithm. Workers left with
-// spare capacity then greedily top up the most reliable open tasks
-// (Algorithm 1 lines 8-15).
+// solved to optimality per batch by flow::IncrementalMcmf: task demand
+// nodes, node potentials, and the flow network persist across batches
+// (warm starts), so each batch augments only for its own workers' supply.
+// Workers left with spare capacity then greedily top up the most reliable
+// open tasks (Algorithm 1 lines 8-15).
 
 #ifndef LTC_ALGO_MCF_LTC_H_
 #define LTC_ALGO_MCF_LTC_H_
@@ -36,8 +38,18 @@ struct McfLtcOptions {
   double batch_factor = 1.0;
   /// First batch is this multiple of m (paper: 1.5).
   double first_batch_factor = 1.5;
-  /// Dijkstra early exit inside the flow solver.
-  bool early_exit = true;
+  /// Carry flow, node potentials, and the patched CSR network across batches
+  /// through flow::IncrementalMcmf instead of rebuilding and re-pricing the
+  /// whole bipartite problem per batch. Each batch adds its workers as fresh
+  /// supply nodes, updates task demands in place, solves, then retires the
+  /// workers with their deliveries frozen — so every batch solve starts from
+  /// already-consistent prices and augments only for the new supply. False
+  /// forces an exact from-scratch restart per batch (the ablation baseline).
+  bool warm_start = true;
+  /// Every Nth batch solve is cross-checked against an independent
+  /// from-scratch reference solve and CHECK-fails on divergence (see
+  /// IncrementalMcmfOptions::drift_check_every). 0 disables.
+  int drift_check_every = 0;
 };
 
 /// \brief The MCF-LTC offline scheduler.

@@ -5,6 +5,7 @@
 #include "algo/exhaustive.h"
 #include "algo/laf.h"
 #include "algo/mcf_ltc.h"
+#include "algo/mcf_stream.h"
 #include "algo/random_assign.h"
 
 namespace ltc {
@@ -15,7 +16,7 @@ StatusOr<bool> IsOnlineAlgorithm(const std::string& name) {
     return false;
   }
   if (name == "LAF" || name == "AAM" || name == "Random" ||
-      name == "LGF-only" || name == "LRF-only") {
+      name == "LGF-only" || name == "LRF-only" || name == "MCF") {
     return true;
   }
   return Status::NotFound("unknown algorithm '" + name + "'");
@@ -53,6 +54,11 @@ StatusOr<std::unique_ptr<OnlineScheduler>> MakeOnlineScheduler(
   }
   if (name == "Random") {
     return std::unique_ptr<OnlineScheduler>(new RandomAssign(seed));
+  }
+  if (name == "MCF") {
+    // Streaming MCF-LTC (batch protocol; svc-only). Callers that need
+    // non-default warm-start options construct McfStream directly.
+    return std::unique_ptr<OnlineScheduler>(new McfStream());
   }
   return Status::NotFound("unknown online algorithm '" + name + "'");
 }

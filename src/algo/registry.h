@@ -27,8 +27,9 @@ std::vector<std::string> StandardAlgorithms();
 StatusOr<std::unique_ptr<OfflineScheduler>> MakeOfflineScheduler(
     const std::string& name);
 
-/// Creates an online scheduler by name ("LAF", "AAM", "Random"); the seed
-/// only matters for "Random". Unknown names -> NotFound.
+/// Creates an online scheduler by name ("LAF", "AAM", "Random", and the
+/// streaming batch scheduler "MCF"); the seed only matters for "Random".
+/// Unknown names -> NotFound.
 StatusOr<std::unique_ptr<OnlineScheduler>> MakeOnlineScheduler(
     const std::string& name, std::uint64_t seed);
 

@@ -161,6 +161,51 @@ class OnlineScheduler {
     return Status::NotImplemented(Name() + " does not support streaming");
   }
 
+  // --- Batch streaming protocol (svc::StreamPipeline; DESIGN.md §10) ---
+  //
+  // Per-worker commitment is the wrong shape for flow-based schedulers: the
+  // streaming MCF scheduler must buffer workers until it has a whole
+  // Theorem-2 batch, and a batch solve may assign tasks to *earlier*
+  // arrivals than the one whose event triggered the flush. Schedulers that
+  // return true from SchedulesWholeBatch() are driven through
+  // OnBatchWithCandidates / OnStreamEnd instead of OnArrivalWithCandidates,
+  // and report every commitment as an explicit (worker, task) pair.
+
+  /// One batch-protocol commitment. `worker` is the scheduler-local arrival
+  /// index (instance.workers[worker - 1]) — the svc pipeline translates to
+  /// global identity when it serialises the assignment log.
+  struct StreamCommit {
+    model::WorkerIndex worker = 0;
+    model::TaskId task = 0;
+  };
+
+  /// True for schedulers that assign per flushed micro-batch (MCF) rather
+  /// than per worker.
+  virtual bool SchedulesWholeBatch() const { return false; }
+
+  /// Batch-protocol flush: `workers[i]` (local arrival indices) was admitted
+  /// with eligible open tasks `*candidates[i]` (ascending ids, gathered at
+  /// flush time). Appends every commitment made — for these workers or ones
+  /// buffered from earlier flushes — to *commits in commit order, recording
+  /// each in the arrangement. May commit nothing (buffering).
+  virtual Status OnBatchWithCandidates(
+      const std::vector<model::WorkerIndex>& workers,
+      const std::vector<const std::vector<model::TaskId>*>& candidates,
+      std::vector<StreamCommit>* commits) {
+    (void)workers;
+    (void)candidates;
+    (void)commits;
+    return Status::NotImplemented(Name() + " does not schedule whole batches");
+  }
+
+  /// End of stream: flushes any internally buffered workers (the final
+  /// partial batch) exactly like the offline algorithm's last iteration.
+  /// Appends the commitments to *commits. Default: nothing buffered.
+  virtual Status OnStreamEnd(std::vector<StreamCommit>* commits) {
+    (void)commits;
+    return Status::OK();
+  }
+
  protected:
   /// Batch Init paths call this so a reused scheduler object never carries
   /// a stale shard identity into a non-sharded run.

@@ -151,6 +151,12 @@ class IndexedMinHeap {
     return false;
   }
 
+  /// The minimum (key, id) without removing it.
+  const std::pair<Key, std::int64_t>& PeekMin() const {
+    assert(!heap_.empty());
+    return heap_[0];
+  }
+
   /// Removes and returns the minimum (key, id).
   std::pair<Key, std::int64_t> PopMin() {
     assert(!heap_.empty());

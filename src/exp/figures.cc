@@ -123,6 +123,32 @@ Suite MakeFig4Scalability(bool paper_scale) {
   return suite;
 }
 
+/// The fig4_scalability grid restricted to MCF-LTC, run warm and cold: the
+/// PR-6 warm-start speedup as a first-class suite. Latency cells must be
+/// bit-identical between the two variants (warm starts are an optimisation,
+/// not a policy change); mean_runtime_seconds carries the speedup that
+/// BENCH_PR6.json records and CI's bench-smoke gate watches.
+Suite MakeFig4Warmstart(bool paper_scale) {
+  Suite suite = MakeFig4Scalability(paper_scale);
+  suite.name = "fig4_warmstart";
+  suite.algorithms.clear();
+  auto add = [&suite](std::string name, bool warm) {
+    algo::McfLtcOptions mcf_options;
+    mcf_options.warm_start = warm;
+    suite.algorithms.push_back(SuiteAlgo{
+        std::move(name),
+        [mcf_options](const model::ProblemInstance& instance,
+                      const model::EligibilityIndex& index,
+                      const sim::EngineOptions& engine_options) {
+          algo::McfLtc mcf(mcf_options);
+          return sim::RunOffline(instance, index, &mcf, engine_options);
+        }});
+  };
+  add("MCF-LTC-warm", true);
+  add("MCF-LTC-cold", false);
+  return suite;
+}
+
 Suite MakeFig4City(bool paper_scale, bool tokyo) {
   Suite suite{tokyo ? "fig4_tokyo" : "fig4_newyork",
               "eps",
@@ -183,9 +209,9 @@ Suite MakeAblationMcfVariants(bool paper_scale) {
   algo::McfLtcOptions no_tie;
   no_tie.index_tie_break = false;
   add("no-tie-break", no_tie);
-  algo::McfLtcOptions no_early;
-  no_early.early_exit = false;
-  add("no-early-exit", no_early);
+  algo::McfLtcOptions no_warm;
+  no_warm.warm_start = false;
+  add("cold-start", no_warm);
   return suite;
 }
 
@@ -312,6 +338,9 @@ std::vector<SuiteDef> BuildRegistry() {
   defs.push_back({"fig4_scalability", "4b/4f/4j",
                   "scalability to |T| = 100K, |W| = 400K", MakeFig4Scalability,
                   nullptr});
+  defs.push_back({"fig4_warmstart", "",
+                  "MCF-LTC warm vs cold flow solves on the scalability grid",
+                  MakeFig4Warmstart, nullptr});
   defs.push_back({"fig4_newyork", "4c/4g/4k",
                   "eps sweep on the New York preset (Table V)",
                   [](bool paper_scale) {

@@ -1,5 +1,7 @@
 #include "flow/graph.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
 
 namespace ltc {
@@ -18,6 +20,20 @@ void FlowNetwork::ResetFlow() {
 
 void FlowNetworkBuilder::Reset(NodeId num_nodes) {
   num_nodes_ = num_nodes;
+  // Scrub the dirtied prefix before clearing: vector::clear keeps the
+  // elements' bytes alive in capacity, and the next fill may stop short of
+  // the old size — any such slot must read as zero (poison in Debug so an
+  // out-of-bounds ArcId read fails loudly), never as the previous network's
+  // capacity or cost.
+#ifdef NDEBUG
+  constexpr std::int64_t scrub = 0;
+#else
+  constexpr std::int64_t scrub = kResetPoison;
+#endif
+  std::fill(from_.begin(), from_.end(), static_cast<NodeId>(scrub));
+  std::fill(to_.begin(), to_.end(), static_cast<NodeId>(scrub));
+  std::fill(cap_.begin(), cap_.end(), scrub);
+  std::fill(cost_.begin(), cost_.end(), scrub);
   from_.clear();
   to_.clear();
   cap_.clear();
@@ -40,6 +56,106 @@ StatusOr<ArcId> FlowNetworkBuilder::AddArc(NodeId from, NodeId to,
   cap_.push_back(capacity);
   cost_.push_back(cost);
   return static_cast<ArcId>(to_.size() - 1);
+}
+
+Status FlowNetworkBuilder::SetArcCapacity(ArcId arc, std::int64_t capacity) {
+  if (arc < 0 || arc >= num_arcs()) {
+    return Status::InvalidArgument(
+        StrFormat("SetArcCapacity(%d): arc out of range [0, %d)", arc,
+                  num_arcs()));
+  }
+  if (capacity < 0) {
+    return Status::InvalidArgument("SetArcCapacity: negative capacity");
+  }
+  cap_[static_cast<std::size_t>(arc)] = capacity;
+  return Status::OK();
+}
+
+Status FlowNetworkBuilder::ApplyDelta(FlowNetwork* net,
+                                      const std::vector<ArcSpec>& added,
+                                      const std::vector<ArcId>& removed,
+                                      std::vector<ArcId>* remap) {
+  const ArcId old_arcs = num_arcs();
+  if (net->num_arcs() != old_arcs || net->num_nodes() > num_nodes_) {
+    return Status::FailedPrecondition(
+        StrFormat("ApplyDelta: network (%d nodes, %d arcs) is not this "
+                  "builder's latest build (%d nodes, %d arcs)",
+                  net->num_nodes(), net->num_arcs(), num_nodes_, old_arcs));
+  }
+  for (const ArcSpec& a : added) {
+    if (a.from < 0 || a.from >= num_nodes_ || a.to < 0 || a.to >= num_nodes_) {
+      return Status::InvalidArgument(
+          StrFormat("ApplyDelta: added arc (%d, %d) out of range [0, %d)",
+                    a.from, a.to, num_nodes_));
+    }
+    if (a.capacity < 0) {
+      return Status::InvalidArgument("ApplyDelta: negative added capacity");
+    }
+  }
+  drop_.assign(static_cast<std::size_t>(old_arcs), 0);
+  for (const ArcId a : removed) {
+    if (a < 0 || a >= old_arcs) {
+      return Status::InvalidArgument(
+          StrFormat("ApplyDelta: removed arc %d out of range [0, %d)", a,
+                    old_arcs));
+    }
+    if (drop_[static_cast<std::size_t>(a)] != 0) {
+      return Status::InvalidArgument(
+          StrFormat("ApplyDelta: arc %d removed twice", a));
+    }
+    if (net->Flow(a) != 0) {
+      return Status::FailedPrecondition(
+          StrFormat("ApplyDelta: removed arc %d still carries flow %lld; "
+                    "cancel it first",
+                    a, static_cast<long long>(net->Flow(a))));
+    }
+    drop_[static_cast<std::size_t>(a)] = 1;
+  }
+
+  // Snapshot surviving flows, then compact the arc arrays stably. The remap
+  // lets callers translate retained ArcIds.
+  flow_.resize(static_cast<std::size_t>(old_arcs));
+  remap->assign(static_cast<std::size_t>(old_arcs), -1);
+  ArcId next = 0;
+  for (ArcId a = 0; a < old_arcs; ++a) {
+    const auto i = static_cast<std::size_t>(a);
+    if (drop_[i] != 0) continue;
+    const std::int64_t flow = net->Flow(a);
+    if (flow > cap_[i]) {
+      return Status::FailedPrecondition(
+          StrFormat("ApplyDelta: arc %d carries flow %lld > capacity %lld",
+                    a, static_cast<long long>(flow),
+                    static_cast<long long>(cap_[i])));
+    }
+    const auto j = static_cast<std::size_t>(next);
+    from_[j] = from_[i];
+    to_[j] = to_[i];
+    cap_[j] = cap_[i];
+    cost_[j] = cost_[i];
+    flow_[j] = flow;
+    (*remap)[i] = next;
+    ++next;
+  }
+  from_.resize(static_cast<std::size_t>(next));
+  to_.resize(static_cast<std::size_t>(next));
+  cap_.resize(static_cast<std::size_t>(next));
+  cost_.resize(static_cast<std::size_t>(next));
+  flow_.resize(static_cast<std::size_t>(next));
+  for (const ArcSpec& a : added) {
+    from_.push_back(a.from);
+    to_.push_back(a.to);
+    cap_.push_back(a.capacity);
+    cost_.push_back(a.cost);
+    flow_.push_back(0);
+  }
+
+  Build(net);
+  // Re-install the surviving flows onto the fresh CSR.
+  for (ArcId a = 0; a < next; ++a) {
+    const std::int64_t flow = flow_[static_cast<std::size_t>(a)];
+    if (flow > 0) net->Push(net->ArcSlot(a), flow);
+  }
+  return Status::OK();
 }
 
 void FlowNetworkBuilder::Build(FlowNetwork* net) {

@@ -103,13 +103,30 @@ class FlowNetwork {
 /// \brief Accumulates nodes/arcs and emits a FlowNetwork via a two-pass
 /// counting sort. Reset() keeps all array capacity, so one builder plus one
 /// network can be recycled across many build/solve cycles with zero
-/// steady-state allocation.
+/// steady-state allocation. ApplyDelta edits the arc set *in place* and
+/// re-emits the CSR while preserving the flow carried by surviving arcs —
+/// the warm-start path of the incremental MCF solver (DESIGN.md §10).
 class FlowNetworkBuilder {
  public:
+  /// One arc to append in an ApplyDelta call.
+  struct ArcSpec {
+    NodeId from = 0;
+    NodeId to = 0;
+    std::int64_t capacity = 0;
+    std::int64_t cost = 0;
+  };
+
   explicit FlowNetworkBuilder(NodeId num_nodes = 0) { Reset(num_nodes); }
 
-  /// Drops all arcs and resizes to `num_nodes` nodes; capacity is kept.
+  /// Drops all arcs and resizes to `num_nodes` nodes; capacity is kept. The
+  /// dirtied prefix of every arc array is zeroed first (poisoned with
+  /// kResetPoison in Debug builds) so no stale capacity/cost survives a
+  /// Reset into the next fill — a reused builder whose caller under-fills
+  /// reads deterministic zeros, never the previous network's arcs.
   void Reset(NodeId num_nodes);
+
+  /// Debug-build poison written by Reset (visible for tests).
+  static constexpr std::int64_t kResetPoison = ~std::int64_t{0xDEAD};
 
   /// Adds a node, returning its id.
   NodeId AddNode() { return num_nodes_++; }
@@ -120,12 +137,40 @@ class FlowNetworkBuilder {
   StatusOr<ArcId> AddArc(NodeId from, NodeId to, std::int64_t capacity,
                          std::int64_t cost);
 
+  /// Rewrites the capacity of arc `arc`. Takes effect at the next Build /
+  /// ApplyDelta; the caller owns keeping any live flow <= the new capacity
+  /// (ApplyDelta refuses otherwise).
+  Status SetArcCapacity(ArcId arc, std::int64_t capacity);
+
   NodeId num_nodes() const { return num_nodes_; }
   ArcId num_arcs() const { return static_cast<ArcId>(to_.size()); }
+
+  // Accessors over the accumulated (not-yet-built) arcs, by ArcId.
+  NodeId arc_from(ArcId a) const { return from_[static_cast<std::size_t>(a)]; }
+  NodeId arc_to(ArcId a) const { return to_[static_cast<std::size_t>(a)]; }
+  std::int64_t arc_capacity(ArcId a) const {
+    return cap_[static_cast<std::size_t>(a)];
+  }
+  std::int64_t arc_cost(ArcId a) const {
+    return cost_[static_cast<std::size_t>(a)];
+  }
 
   /// Lays the accumulated arcs out in CSR form inside *net, reusing its
   /// arrays. The builder keeps its contents (call Reset to start over).
   void Build(FlowNetwork* net);
+
+  /// In-place topology delta: drops the arcs listed in `removed` (each must
+  /// carry zero flow in *net; cancel flow before removal), appends `added`,
+  /// and rebuilds *net's CSR, preserving the flow on every surviving arc.
+  ///
+  /// Precondition: *net is the product of this builder's latest Build or
+  /// ApplyDelta (surviving flows are read from it). Surviving arcs keep
+  /// their relative order but are renumbered; *remap (resized to the old
+  /// arc count) maps old ArcId -> new ArcId, -1 for removed. Added arcs get
+  /// ids starting at the number of survivors, in `added` order.
+  Status ApplyDelta(FlowNetwork* net, const std::vector<ArcSpec>& added,
+                    const std::vector<ArcId>& removed,
+                    std::vector<ArcId>* remap);
 
  private:
   NodeId num_nodes_ = 0;
@@ -134,7 +179,9 @@ class FlowNetworkBuilder {
   std::vector<NodeId> to_;
   std::vector<std::int64_t> cap_;
   std::vector<std::int64_t> cost_;
-  std::vector<ArcIndex> cursor_;  // Build scratch (per node)
+  std::vector<ArcIndex> cursor_;     // Build scratch (per node)
+  std::vector<std::int64_t> flow_;   // ApplyDelta scratch (per arc)
+  std::vector<char> drop_;           // ApplyDelta scratch (per arc)
 };
 
 }  // namespace flow

@@ -31,7 +31,18 @@ Flag<double> FLAG_grid_side("grid_side", 1000.0,
                             "--synthetic: world side length");
 Flag<std::string> FLAG_algo("algo", "LAF",
                             "online scheduler to serve with (LAF, AAM, "
-                            "Random)");
+                            "Random, MCF)");
+Flag<std::string> FLAG_scheduler(
+    "scheduler", "",
+    "lowercase alias for --algo (laf, aam, random, mcf); overrides "
+    "--algo when set");
+Flag<bool> FLAG_mcf_warm_start("mcf_warm_start", true,
+                               "--scheduler=mcf: reuse flow and potentials "
+                               "across batch solves (DESIGN.md section 10)");
+Flag<std::int64_t> FLAG_mcf_drift_check_every(
+    "mcf_drift_check_every", 0,
+    "--scheduler=mcf: re-solve from scratch every Nth warm solve and "
+    "CHECK-fail on divergence (0 = off)");
 Flag<double> FLAG_deadline("deadline", 0.0,
                            "batching deadline in stream time units "
                            "(0 = admit every worker immediately)");
@@ -182,12 +193,33 @@ int ServeMain(int argc, char** argv) {
 
   StreamOptions options;
   options.algorithm = FLAG_algo.Get();
+  if (!FLAG_scheduler.Get().empty()) {
+    const std::string& s = FLAG_scheduler.Get();
+    if (s == "laf") {
+      options.algorithm = "LAF";
+    } else if (s == "aam") {
+      options.algorithm = "AAM";
+    } else if (s == "random") {
+      options.algorithm = "Random";
+    } else if (s == "mcf") {
+      options.algorithm = "MCF";
+    } else {
+      std::fprintf(stderr,
+                   "ltc_serve: unknown --scheduler '%s' (expected laf, aam, "
+                   "random, or mcf)\n",
+                   s.c_str());
+      return 1;
+    }
+  }
   options.batch_deadline = FLAG_deadline.Get();
   options.max_batch = FLAG_max_batch.Get();
   options.seed = static_cast<std::uint64_t>(FLAG_seed.Get());
   options.threads = static_cast<int>(FLAG_threads.Get());
   options.shards = static_cast<int>(FLAG_shards.Get());
   options.validate = FLAG_validate.Get();
+  options.mcf_warm_start = FLAG_mcf_warm_start.Get();
+  options.mcf_drift_check_every =
+      static_cast<int>(FLAG_mcf_drift_check_every.Get());
 
   auto report = RunService(log, options);
   if (!report.ok()) {

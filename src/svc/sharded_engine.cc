@@ -67,6 +67,8 @@ StatusOr<std::unique_ptr<ShardedStreamEngine>> ShardedStreamEngine::Create(
     config.seed = options.seed;
     config.shard_id = s;
     config.num_shards = options.shards;
+    config.mcf_warm_start = options.mcf_warm_start;
+    config.mcf_drift_check_every = options.mcf_drift_check_every;
     config.world = options.world;
     config.cell_size = cell;
     LTC_ASSIGN_OR_RETURN(auto pipeline,
@@ -333,13 +335,34 @@ StatusOr<StreamMetrics> ShardedStreamEngine::Finish() {
     return Status::FailedPrecondition("Finish called twice");
   }
   std::vector<DueFlush> due;
+  double end_time = last_event_time_;
   for (int s = 0; s < num_shards(); ++s) {
     const StreamPipeline& p = *pipelines_[static_cast<std::size_t>(s)];
     if (!p.has_open_batch()) continue;
     // The service waits out the deadline for the final stragglers.
     due.push_back(DueFlush{p.batch_open_time() + options_.batch_deadline, s});
+    end_time = std::max(end_time, due.back().time);
   }
   LTC_RETURN_IF_ERROR(RunRound(std::move(due)));
+
+  // Batch schedulers may still hold a partial Theorem-2 batch per shard;
+  // drain them sequentially in shard order — one deterministic tail for the
+  // global log, merged exactly like a round's phase 4.
+  for (int s = 0; s < num_shards(); ++s) {
+    StreamPipeline& p = *pipelines_[static_cast<std::size_t>(s)];
+    LTC_RETURN_IF_ERROR(p.CommitStreamEnd(end_time));
+    for (const StreamAssignment& a : p.pending_assignments()) {
+      assignments_.push_back(a);
+      max_assigned_worker_ = std::max(max_assigned_worker_, a.worker);
+      ++metrics_.assignments;
+    }
+    p.pending_assignments().clear();
+    for (const model::TaskId task : p.pending_closed()) {
+      task_open_[static_cast<std::size_t>(task)] = 0;
+      displaced_.erase(task);
+    }
+    p.pending_closed().clear();
+  }
   finished_ = true;
 
   metrics_.last_event_time = last_event_time_;

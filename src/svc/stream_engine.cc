@@ -4,6 +4,7 @@
 #include <future>
 #include <utility>
 
+#include "algo/mcf_stream.h"
 #include "algo/registry.h"
 #include "common/string_util.h"
 #include "common/timer.h"
@@ -56,9 +57,18 @@ StatusOr<std::unique_ptr<StreamPipeline>> StreamPipeline::Create(
   pipeline->instance_.acc_min = header.acc_min;
   pipeline->instance_.accuracy = header.accuracy;
 
-  LTC_ASSIGN_OR_RETURN(
-      pipeline->scheduler_,
-      algo::MakeOnlineScheduler(config.algorithm, config.seed));
+  if (config.algorithm == "MCF") {
+    // The registry's default-constructed MCF cannot carry the service's
+    // warm-start knobs, so the pipeline builds its own.
+    algo::McfLtcOptions mcf_options;
+    mcf_options.warm_start = config.mcf_warm_start;
+    mcf_options.drift_check_every = config.mcf_drift_check_every;
+    pipeline->scheduler_ = std::make_unique<algo::McfStream>(mcf_options);
+  } else {
+    LTC_ASSIGN_OR_RETURN(
+        pipeline->scheduler_,
+        algo::MakeOnlineScheduler(config.algorithm, config.seed));
+  }
   LTC_RETURN_IF_ERROR(pipeline->scheduler_->InitStreamingSharded(
       pipeline->instance_,
       algo::OnlineScheduler::StreamShardContext{config.shard_id,
@@ -166,6 +176,24 @@ Status StreamPipeline::CommitBatch(double flush_time) {
   ++batches_;
   max_batch_size_ = std::max(max_batch_size_, static_cast<std::int64_t>(n));
 
+  if (scheduler_->SchedulesWholeBatch()) {
+    // Batch protocol: the whole flushed batch in arrival order, one call.
+    // The scheduler may buffer (commits can reference workers admitted in
+    // earlier flushes) — every commitment it does make lands at this
+    // flush's instant, which keeps the log a pure function of the admitted
+    // sequence.
+    candidate_ptrs_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      candidate_ptrs_.push_back(&gather_slots_[i]);
+    }
+    commits_scratch_.clear();
+    LTC_RETURN_IF_ERROR(scheduler_->OnBatchWithCandidates(
+        batch_, candidate_ptrs_, &commits_scratch_));
+    RecordCommits(commits_scratch_, flush_time);
+    batch_.clear();
+    return Status::OK();
+  }
+
   // Strictly in arrival order. The scheduler re-filters tasks completed by
   // earlier workers of this batch; the pipeline closes completed tasks
   // immediately so the next batch's gather never sees them.
@@ -185,6 +213,31 @@ Status StreamPipeline::CommitBatch(double flush_time) {
   }
   batch_.clear();
   return Status::OK();
+}
+
+Status StreamPipeline::CommitStreamEnd(double end_time) {
+  if (!scheduler_->SchedulesWholeBatch()) return Status::OK();
+  commits_scratch_.clear();
+  LTC_RETURN_IF_ERROR(scheduler_->OnStreamEnd(&commits_scratch_));
+  if (commits_scratch_.empty()) return Status::OK();
+  ++batches_;  // the final partial batch is a real commit round
+  RecordCommits(commits_scratch_, end_time);
+  return Status::OK();
+}
+
+void StreamPipeline::RecordCommits(
+    const std::vector<algo::OnlineScheduler::StreamCommit>& commits,
+    double time) {
+  assigned_scratch_.clear();
+  for (const auto& commit : commits) {
+    pending_assignments_.push_back(StreamAssignment{
+        time, worker_global_[static_cast<std::size_t>(commit.worker) - 1],
+        task_global_[static_cast<std::size_t>(commit.task)]});
+    assignment_latency_samples_.push_back(
+        time - task_arrival_time_[static_cast<std::size_t>(commit.task)]);
+    assigned_scratch_.push_back(commit.task);
+  }
+  CloseCompleted(assigned_scratch_, time);
 }
 
 void StreamPipeline::CloseCompleted(
@@ -247,6 +300,8 @@ StatusOr<std::unique_ptr<StreamEngine>> StreamEngine::Create(
   config.max_batch = options.max_batch;
   config.seed = options.seed;
   config.world = options.world;
+  config.mcf_warm_start = options.mcf_warm_start;
+  config.mcf_drift_check_every = options.mcf_drift_check_every;
   // Same grid geometry rule as EligibilityIndex::Build (shared helper);
   // models without distance structure fall back to scanning the open set.
   config.cell_size =
@@ -360,11 +415,23 @@ StatusOr<StreamMetrics> StreamEngine::Finish() {
   if (finished_) {
     return Status::FailedPrecondition("Finish called twice");
   }
+  double end_time = last_event_time_;
   if (pipeline_->has_open_batch()) {
     // The service waits out the deadline for the final stragglers.
-    LTC_RETURN_IF_ERROR(FlushBatch(pipeline_->batch_open_time() +
-                                   options_.batch_deadline));
+    const double final_flush =
+        pipeline_->batch_open_time() + options_.batch_deadline;
+    end_time = std::max(end_time, final_flush);
+    LTC_RETURN_IF_ERROR(FlushBatch(final_flush));
   }
+  // Batch schedulers may still hold a partial Theorem-2 batch; drain it at
+  // the stream's end instant and fold the commitments into the log.
+  LTC_RETURN_IF_ERROR(pipeline_->CommitStreamEnd(end_time));
+  for (const StreamAssignment& a : pipeline_->pending_assignments()) {
+    assignments_.push_back(a);
+    ++metrics_.assignments;
+  }
+  pipeline_->pending_assignments().clear();
+  pipeline_->pending_closed().clear();
   finished_ = true;
   metrics_.last_event_time = last_event_time_;
   metrics_.batches = pipeline_->batches();

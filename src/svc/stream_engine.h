@@ -47,7 +47,9 @@ namespace svc {
 
 /// Service configuration.
 struct StreamOptions {
-  /// Online scheduler driven per admitted worker ("LAF", "AAM", "Random").
+  /// Online scheduler driven per admitted worker ("LAF", "AAM", "Random"),
+  /// or the batch-protocol streaming MCF-LTC ("MCF", DESIGN.md §10),
+  /// driven per flushed micro-batch.
   std::string algorithm = "LAF";
   /// A batch flushes once its oldest buffered worker has waited this long
   /// (stream time units). 0 admits every worker immediately — per-arrival
@@ -76,6 +78,14 @@ struct StreamOptions {
   /// validation recomputes Acc* from final locations, which legitimately
   /// disagrees with values committed before a move.
   bool validate = true;
+  /// "MCF" only: carry flow and node potentials across the scheduler's
+  /// internal Theorem-2 batches (false forces a from-scratch solve per
+  /// batch — the ablation baseline; the assignment log is identical).
+  bool mcf_warm_start = true;
+  /// "MCF" only: cross-check every Nth warm batch solve against an
+  /// independent from-scratch solve, CHECK-failing on divergence (see
+  /// flow::IncrementalMcmfOptions::drift_check_every). 0 disables.
+  int mcf_drift_check_every = 0;
 };
 
 /// One committed assignment, in commit order — the deterministic record the
@@ -157,6 +167,9 @@ class StreamPipeline {
     geo::Rect world{0.0, 0.0, 1000.0, 1000.0};
     /// Cell size for the incremental grid; nullopt = scan fallback.
     std::optional<double> cell_size;
+    /// "MCF" warm-start knobs (see StreamOptions).
+    bool mcf_warm_start = true;
+    int mcf_drift_check_every = 0;
   };
 
   /// Creates a pipeline for a stream with `header`'s instance parameters.
@@ -203,10 +216,18 @@ class StreamPipeline {
   bool SlotEmpty(std::size_t i) const { return gather_slots_[i].empty(); }
 
   /// Commits the batch at `flush_time`: drives the scheduler per buffered
-  /// worker in arrival order over the gathered slots, records pending
+  /// worker in arrival order over the gathered slots (or hands the whole
+  /// batch to a SchedulesWholeBatch scheduler), records pending
   /// assignments/closures, closes completed tasks. Safe to run
   /// concurrently with other pipelines' CommitBatch.
   Status CommitBatch(double flush_time);
+
+  /// End of stream (engines call it once, after the final batch flush):
+  /// drains a batch scheduler's internally buffered workers — its final
+  /// partial Theorem-2 batch — committing at `end_time`. No-op for
+  /// per-worker schedulers. Safe to run concurrently with other pipelines'
+  /// CommitStreamEnd.
+  Status CommitStreamEnd(double end_time);
 
   // --- Per-round outputs (engine merges after CommitBatch, then clears) ---
 
@@ -249,6 +270,12 @@ class StreamPipeline {
   void CloseCompleted(const std::vector<model::TaskId>& assigned,
                       double flush_time);
 
+  /// Folds one batch-protocol commitment list into the pending records at
+  /// `time` (assignment log, latency samples, closures).
+  void RecordCommits(const std::vector<algo::OnlineScheduler::StreamCommit>&
+                         commits,
+                     double time);
+
   Config config_;
   model::ProblemInstance instance_;  // grows in place; never reallocated as
                                      // a whole (schedulers hold a pointer)
@@ -265,6 +292,9 @@ class StreamPipeline {
 
   std::vector<std::vector<model::TaskId>> gather_slots_;
   std::vector<model::TaskId> assigned_scratch_;
+  // Batch-protocol scratch (SchedulesWholeBatch schedulers only).
+  std::vector<const std::vector<model::TaskId>*> candidate_ptrs_;
+  std::vector<algo::OnlineScheduler::StreamCommit> commits_scratch_;
   std::vector<StreamAssignment> pending_assignments_;
   std::vector<model::TaskId> pending_closed_;
   std::vector<double> assignment_latency_samples_;

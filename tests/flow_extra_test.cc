@@ -182,6 +182,117 @@ TEST_P(BigRandomMcmfTest, SspMatchesBellmanFordOnLargerGraphs) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BigRandomMcmfTest, ::testing::Range(0, 10));
 
+TEST(FlowBuilderTest, ReuseAfterResetMatchesFreshBuilder) {
+  // Regression: Reset() used to leave the previous network's capacities and
+  // costs alive in vector capacity; a rebuild with fewer arcs could read
+  // them back through stale ArcIds. A recycled builder must now behave
+  // byte-for-byte like a never-used one.
+  FlowNetworkBuilder reused(6);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(reused.AddArc(0, 5, 1000 + i, -777 - i).ok());
+  }
+  FlowNetwork scratch;
+  reused.Build(&scratch);
+
+  reused.Reset(4);
+  FlowNetworkBuilder fresh(4);
+  for (FlowNetworkBuilder* b : {&reused, &fresh}) {
+    ASSERT_TRUE(b->AddArc(0, 2, 3, 5).ok());
+    ASSERT_TRUE(b->AddArc(2, 1, 2, 7).ok());
+  }
+  EXPECT_EQ(reused.num_arcs(), fresh.num_arcs());
+  for (ArcId a = 0; a < fresh.num_arcs(); ++a) {
+    EXPECT_EQ(reused.arc_from(a), fresh.arc_from(a));
+    EXPECT_EQ(reused.arc_to(a), fresh.arc_to(a));
+    EXPECT_EQ(reused.arc_capacity(a), fresh.arc_capacity(a));
+    EXPECT_EQ(reused.arc_cost(a), fresh.arc_cost(a));
+  }
+  FlowNetwork from_reused;
+  FlowNetwork from_fresh;
+  reused.Build(&from_reused);
+  fresh.Build(&from_fresh);
+  auto rr = SspMinCostMaxFlow(&from_reused, 0, 1);
+  auto rf = SspMinCostMaxFlow(&from_fresh, 0, 1);
+  ASSERT_TRUE(rr.ok());
+  ASSERT_TRUE(rf.ok());
+  EXPECT_EQ(rr->flow, rf->flow);
+  EXPECT_EQ(rr->cost, rf->cost);
+  EXPECT_EQ(rr->flow, 2);
+  EXPECT_EQ(rr->cost, 24);
+}
+
+TEST(FlowBuilderTest, ApplyDeltaMatchesFreshBuild) {
+  // Patch a built network in place (drop two arcs, add two, after cancelling
+  // the flow the dropped arcs carried) and check the re-solved optimum and
+  // surviving flows equal a from-scratch build of the same final problem.
+  FlowNetworkBuilder b(6);  // 0 st, 1 ed, 2-3 lefts, 4-5 rights
+  std::vector<ArcId> arcs;
+  auto add = [&](NodeId f, NodeId t, std::int64_t cap, std::int64_t cost) {
+    auto a = b.AddArc(f, t, cap, cost);
+    ASSERT_TRUE(a.ok());
+    arcs.push_back(*a);
+  };
+  add(0, 2, 2, 0);
+  add(0, 3, 2, 0);
+  add(2, 4, 1, -50);
+  add(2, 5, 1, -10);
+  add(3, 4, 1, -30);
+  add(4, 1, 2, 0);
+  add(5, 1, 1, 0);
+  FlowNetwork net;
+  b.Build(&net);
+  ASSERT_TRUE(SspMinCostMaxFlow(&net, 0, 1).ok());
+
+  // Cancel the doomed arcs along their full st->ed paths (ApplyDelta refuses
+  // flow-carrying removals, and partial cancellation would break
+  // conservation): l2->r5 rides st->l2 / r5->ed, l3->r4 rides st->l3 /
+  // r4->ed.
+  const auto cancel_path = [&](ArcId st_arc, ArcId mid_arc, ArcId ed_arc) {
+    const std::int64_t f = net.Flow(mid_arc);
+    if (f <= 0) return;
+    for (const ArcId a : {st_arc, mid_arc, ed_arc}) {
+      net.Push(net.ArcSlot(a), -f);
+    }
+  };
+  cancel_path(arcs[0], arcs[3], arcs[6]);
+  cancel_path(arcs[1], arcs[4], arcs[5]);
+  std::vector<FlowNetworkBuilder::ArcSpec> added = {{3, 5, 1, -40},
+                                                    {2, 4, 1, -20}};
+  std::vector<ArcId> remap;
+  ASSERT_TRUE(b.ApplyDelta(&net, added, {arcs[3], arcs[4]}, &remap).ok());
+  EXPECT_EQ(remap[static_cast<std::size_t>(arcs[2])], arcs[2]);
+  EXPECT_EQ(remap[static_cast<std::size_t>(arcs[3])], -1);
+  // Surviving flow was re-installed on the compacted CSR.
+  EXPECT_EQ(net.Flow(remap[static_cast<std::size_t>(arcs[2])]),
+            static_cast<std::int64_t>(1));
+  auto patched = SspMinCostMaxFlow(&net, 0, 1);
+  ASSERT_TRUE(patched.ok());
+
+  FlowNetworkBuilder fb(6);
+  FlowNetwork fnet;
+  ASSERT_TRUE(fb.AddArc(0, 2, 2, 0).ok());
+  ASSERT_TRUE(fb.AddArc(0, 3, 2, 0).ok());
+  ASSERT_TRUE(fb.AddArc(2, 4, 1, -50).ok());
+  ASSERT_TRUE(fb.AddArc(2, 5, 1, -10).ok());
+  ASSERT_TRUE(fb.AddArc(4, 1, 2, 0).ok());
+  ASSERT_TRUE(fb.AddArc(5, 1, 1, 0).ok());
+  ASSERT_TRUE(fb.AddArc(3, 5, 1, -40).ok());
+  ASSERT_TRUE(fb.AddArc(2, 4, 1, -20).ok());
+  fb.Build(&fnet);
+  auto scratch = SspMinCostMaxFlow(&fnet, 0, 1);
+  ASSERT_TRUE(scratch.ok());
+  // The patched network resumes from the surviving flow, so its incremental
+  // result plus what was already on the wire must equal the fresh optimum.
+  std::int64_t patched_cost = 0;
+  std::int64_t patched_flow = 0;
+  for (ArcId a = 0; a < b.num_arcs(); ++a) {
+    if (b.arc_from(a) == 0) patched_flow += net.Flow(a);
+    patched_cost += b.arc_cost(a) * net.Flow(a);
+  }
+  EXPECT_EQ(patched_flow, scratch->flow);
+  EXPECT_EQ(patched_cost, scratch->cost);
+}
+
 }  // namespace
 }  // namespace flow
 }  // namespace ltc
