@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/string_util.h"
 #include "model/quality.h"
 
 namespace ltc {
@@ -123,6 +124,89 @@ Status McfStream::OnStreamEnd(std::vector<StreamCommit>* commits) {
   // The final partial batch — offline's last loop iteration, where
   // take = min(m, workers remaining).
   return FlushInternalBatch(commits);
+}
+
+Status McfStream::SerializeState(std::string* out) const {
+  if (!arrangement_.has_value()) {
+    return Status::FailedPrecondition("SerializeState before InitStreaming");
+  }
+  for (const model::Assignment& a : arrangement_->assignments()) {
+    out->append(StrFormat("a %lld %lld %.17g\n",
+                          static_cast<long long>(a.worker),
+                          static_cast<long long>(a.task), a.acc_star));
+  }
+  // One line per buffered worker: "b <worker> [cand...]" in buffer order,
+  // candidates exactly as gathered at admission.
+  for (std::size_t p = 0; p < buf_worker_.size(); ++p) {
+    out->append(StrFormat("b %lld", static_cast<long long>(buf_worker_[p])));
+    for (std::size_t k = buf_begin_[p]; k < buf_begin_[p + 1]; ++k) {
+      out->append(StrFormat(" %lld", static_cast<long long>(buf_cand_[k])));
+    }
+    out->push_back('\n');
+  }
+  out->append(StrFormat("m %d %lld", first_batch_ ? 1 : 0,
+                        static_cast<long long>(batches_solved_)));
+  out->push_back('\n');
+  return Status::OK();
+}
+
+Status McfStream::RestoreState(const model::ProblemInstance& instance,
+                               const StreamShardContext& shard,
+                               const std::string& blob) {
+  // Fresh solver, empty buffer, task_right_ all -1: the cold-restart
+  // baseline the header documents.
+  LTC_RETURN_IF_ERROR(InitStreamingSharded(instance, shard));
+  for (const std::string& raw : Split(blob, '\n')) {
+    const std::string line = Trim(raw);
+    if (line.empty()) continue;
+    const std::vector<std::string> f = Split(line, ' ');
+    if (f[0] == "a") {
+      std::int64_t w = 0;
+      std::int64_t t = 0;
+      double acc = 0.0;
+      if (f.size() != 4 || !ParseInt64(f[1], &w) || !ParseInt64(f[2], &t) ||
+          !ParseDouble(f[3], &acc)) {
+        return Status::InvalidArgument("snapshot: bad assignment line: " +
+                                       line);
+      }
+      if (w < 1 || w > static_cast<std::int64_t>(instance.workers.size()) ||
+          t < 0 || t >= arrangement_->num_tasks()) {
+        return Status::OutOfRange("snapshot: assignment out of range: " +
+                                  line);
+      }
+      arrangement_->Add(static_cast<model::WorkerIndex>(w),
+                        static_cast<model::TaskId>(t), acc);
+    } else if (f[0] == "b") {
+      std::int64_t w = 0;
+      if (f.size() < 2 || !ParseInt64(f[1], &w) || w < 1 ||
+          w > static_cast<std::int64_t>(instance.workers.size())) {
+        return Status::InvalidArgument("snapshot: bad buffer line: " + line);
+      }
+      buf_worker_.push_back(static_cast<model::WorkerIndex>(w));
+      for (std::size_t i = 2; i < f.size(); ++i) {
+        std::int64_t t = 0;
+        if (!ParseInt64(f[i], &t) || t < 0 || t >= arrangement_->num_tasks()) {
+          return Status::InvalidArgument("snapshot: bad buffer candidate: " +
+                                         line);
+        }
+        buf_cand_.push_back(static_cast<model::TaskId>(t));
+      }
+      buf_begin_.push_back(buf_cand_.size());
+    } else if (f[0] == "m") {
+      std::int64_t fb = 0;
+      std::int64_t solved = 0;
+      if (f.size() != 3 || !ParseInt64(f[1], &fb) ||
+          !ParseInt64(f[2], &solved)) {
+        return Status::InvalidArgument("snapshot: bad marker line: " + line);
+      }
+      first_batch_ = fb != 0;
+      batches_solved_ = solved;
+    } else {
+      return Status::InvalidArgument("snapshot: unknown scheduler line: " +
+                                     line);
+    }
+  }
+  return Status::OK();
 }
 
 Status McfStream::FlushInternalBatch(std::vector<StreamCommit>* commits) {

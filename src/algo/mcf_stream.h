@@ -68,6 +68,21 @@ class McfStream : public OnlineScheduler {
       std::vector<StreamCommit>* commits) override;
   Status OnStreamEnd(std::vector<StreamCommit>* commits) override;
 
+  /// Snapshot protocol (DESIGN.md §11). Serialized: the arrangement's Add
+  /// sequence, the open internal batch (workers with their flush-time
+  /// candidate sets), and the batch-phase flags. The IncrementalMcmf warm
+  /// state is deliberately NOT serialized — restore cold-starts a fresh
+  /// solver. This is sound because each flush refreshes every demand
+  /// absolutely from the arrangement and retires all supplies afterwards,
+  /// so a solve's commitments depend only on (arrangement, buffered batch);
+  /// the warm start is a pure speed-up whose warm-vs-cold assignment-log
+  /// identity the drift checks already enforce (DESIGN.md §10). The first
+  /// post-restore flush simply pays one cold solve.
+  Status SerializeState(std::string* out) const override;
+  Status RestoreState(const model::ProblemInstance& instance,
+                      const StreamShardContext& shard,
+                      const std::string& blob) override;
+
   bool Done() const override {
     return arrangement_.has_value() && arrangement_->AllCompleted();
   }

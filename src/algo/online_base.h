@@ -37,6 +37,16 @@ class OnlineSchedulerBase : public OnlineScheduler {
                                  const std::vector<model::TaskId>& candidates,
                                  std::vector<model::TaskId>* assigned) override;
 
+  /// Snapshot protocol (DESIGN.md §11): the generic serialization is the
+  /// arrangement's Add sequence ("a" lines), which RestoreState replays
+  /// through Add() + OnAssigned() so per-task aggregates (AAM) rebuild
+  /// themselves; schedulers with state that replay cannot rebuild (Random's
+  /// generator) add "x <payload>" lines via the extras hooks.
+  Status SerializeState(std::string* out) const override;
+  Status RestoreState(const model::ProblemInstance& instance,
+                      const StreamShardContext& shard,
+                      const std::string& blob) override;
+
   bool Done() const override { return arrangement_->AllCompleted(); }
 
   const model::Arrangement& arrangement() const override {
@@ -73,6 +83,18 @@ class OnlineSchedulerBase : public OnlineScheduler {
   virtual Status OnTaskAddedHook(model::TaskId task) {
     (void)task;
     return Status::OK();
+  }
+
+  /// Appends scheduler-specific snapshot lines ("x <payload>") after the
+  /// generic arrangement lines. Default: no extra state.
+  virtual void SerializeExtras(std::string* out) const { (void)out; }
+
+  /// Applies one scheduler-specific snapshot payload (the text after
+  /// "x "). Extras are applied after the arrangement replay, in emission
+  /// order. Default: schedulers without extras reject any payload.
+  virtual Status RestoreExtra(const std::string& payload) {
+    return Status::InvalidArgument(Name() +
+                                   ": unknown snapshot payload: " + payload);
   }
 
   const model::ProblemInstance& instance() const { return *instance_; }

@@ -45,6 +45,12 @@ class RandomAssign : public OnlineSchedulerBase {
                    const std::vector<model::TaskId>& candidates,
                    std::vector<model::TaskId>* out) override;
 
+  /// Snapshot extras: the raw generator state. The number of draws consumed
+  /// is not derivable from the arrangement (small candidate sets skip the
+  /// generator entirely), so the xoshiro words are saved verbatim.
+  void SerializeExtras(std::string* out) const override;
+  Status RestoreExtra(const std::string& payload) override;
+
  private:
   std::uint64_t seed_;
   Rng rng_;

@@ -206,6 +206,44 @@ class OnlineScheduler {
     return Status::OK();
   }
 
+  // --- Snapshot protocol (svc crash recovery; DESIGN.md §11) ---
+  //
+  // A crash-recoverable service periodically snapshots each pipeline; the
+  // scheduler contributes a line-oriented text blob capturing every bit of
+  // streaming-mode mutable state that is not derivable from the instance
+  // prefix alone. The contract: restoring a snapshot and continuing the
+  // stream must produce exactly the commitments the uninterrupted scheduler
+  // would have produced — svc_recovery_test pins this per scheduler.
+  //
+  // Line vocabulary (one record per '\n'-terminated line):
+  //   "a <worker> <task> <acc_star>"  — one arrangement Add, in commit
+  //       order. acc_star is recorded (%.17g), not recomputed on restore:
+  //       a task may have moved since the assignment was made.
+  //   anything else                   — scheduler-specific (see subclasses).
+
+  /// Appends this scheduler's streaming state to *out. Only meaningful
+  /// after InitStreaming; implementations must emit every line their own
+  /// RestoreState needs.
+  virtual Status SerializeState(std::string* out) const {
+    (void)out;
+    return Status::NotImplemented(Name() + " does not support snapshots");
+  }
+
+  /// Counterpart of SerializeState: re-initialises this scheduler for a
+  /// streaming run over `instance` — which the caller has already re-grown
+  /// to the snapshot's task/worker prefix — with shard identity `shard`,
+  /// then applies `blob`. After RestoreState the scheduler is
+  /// indistinguishable (commitment for commitment) from one that lived
+  /// through the whole prefix.
+  virtual Status RestoreState(const model::ProblemInstance& instance,
+                              const StreamShardContext& shard,
+                              const std::string& blob) {
+    (void)instance;
+    (void)shard;
+    (void)blob;
+    return Status::NotImplemented(Name() + " does not support snapshots");
+  }
+
  protected:
   /// Batch Init paths call this so a reused scheduler object never carries
   /// a stale shard identity into a non-sharded run.

@@ -1,0 +1,101 @@
+// Bounded MPSC/MPMC queue with explicit backpressure.
+//
+// The ingest path between the network threads and the engine loop must never
+// grow without bound: beyond the capacity the *producer* is told "no"
+// (TryPush returns false) and translates that into a reject-with-status frame
+// for the client, instead of blocking the socket thread or buffering
+// unboundedly. The consumer side blocks (Pop) until an item arrives or the
+// queue is closed and drained.
+//
+// Plain mutex + two condition variables: ingest frames are batched (tens to
+// hundreds of events per push), so queue ops are far off the hot path and
+// clarity beats lock-free cleverness. high_water() records the maximum
+// occupancy ever observed, which the e2e bench reports to prove occupancy
+// stays bounded under load.
+
+#ifndef LTC_COMMON_BOUNDED_QUEUE_H_
+#define LTC_COMMON_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace ltc {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking push. Returns false — without enqueueing — when the queue
+  /// is at capacity or closed; the caller owns the backpressure response.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+      if (items_.size() > high_water_) high_water_ = items_.size();
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop. Returns false only when the queue is closed and fully
+  /// drained — the consumer's termination signal.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Non-blocking pop for drain loops. Returns false when currently empty.
+  bool TryPop(T* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// After Close(), pushes fail and Pop() returns false once drained.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Maximum occupancy observed since construction.
+  std::size_t high_water() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  std::size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace ltc
+
+#endif  // LTC_COMMON_BOUNDED_QUEUE_H_

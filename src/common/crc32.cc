@@ -1,0 +1,38 @@
+#include "common/crc32.h"
+
+namespace ltc {
+
+namespace {
+
+struct Crc32Table {
+  std::uint32_t entries[256];
+  Crc32Table() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+const Crc32Table& Table() {
+  static const Crc32Table* table = new Crc32Table();
+  return *table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32Update(std::uint32_t crc, const void* data,
+                          std::size_t len) {
+  const Crc32Table& table = Table();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = table.entries[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace ltc

@@ -1,0 +1,30 @@
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) for integrity
+// trailers on durable artifacts (engine snapshots). Table-driven, no
+// dependencies; matches zlib's crc32() so external tooling can verify files.
+
+#ifndef LTC_COMMON_CRC32_H_
+#define LTC_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ltc {
+
+/// Extends a running CRC-32 with `len` bytes. Start with crc = 0.
+std::uint32_t Crc32Update(std::uint32_t crc, const void* data,
+                          std::size_t len);
+
+/// CRC-32 of a whole buffer.
+inline std::uint32_t Crc32(const void* data, std::size_t len) {
+  return Crc32Update(0, data, len);
+}
+
+/// CRC-32 of a string's bytes.
+inline std::uint32_t Crc32(const std::string& s) {
+  return Crc32(s.data(), s.size());
+}
+
+}  // namespace ltc
+
+#endif  // LTC_COMMON_CRC32_H_

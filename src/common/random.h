@@ -62,6 +62,30 @@ class Rng {
   /// Derives an independent child generator (for per-repetition streams).
   Rng Fork();
 
+  /// \brief Complete serializable generator state.
+  ///
+  /// Covers the four xoshiro words plus the Box-Muller cache; the Zipf CDF
+  /// cache is derived from (n, s) on demand and deliberately excluded. A
+  /// generator restored from a State produces the exact same output sequence
+  /// as the generator it was saved from.
+  struct State {
+    std::uint64_t s[4];
+    double cached_gaussian;
+    bool has_cached_gaussian;
+  };
+
+  State SaveState() const {
+    return State{{s_[0], s_[1], s_[2], s_[3]},
+                 cached_gaussian_,
+                 has_cached_gaussian_};
+  }
+
+  void RestoreState(const State& state) {
+    for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+    cached_gaussian_ = state.cached_gaussian;
+    has_cached_gaussian_ = state.has_cached_gaussian;
+  }
+
  private:
   std::uint64_t s_[4];
   double cached_gaussian_ = 0.0;

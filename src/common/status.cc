@@ -34,6 +34,8 @@ const char* StatusCodeName(StatusCode code) {
       return "not-implemented";
     case StatusCode::kIOError:
       return "io-error";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

@@ -26,6 +26,7 @@ enum class StatusCode : int {
   kInternal = 7,
   kNotImplemented = 8,
   kIOError = 9,
+  kUnavailable = 10,
 };
 
 /// Returns the canonical lowercase name for a code, e.g. "invalid-argument".
@@ -71,6 +72,9 @@ class Status {
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -83,8 +87,12 @@ class Status {
   bool IsFailedPrecondition() const {
     return code() == StatusCode::kFailedPrecondition;
   }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// "OK" or "<code-name>: <message>".
   std::string ToString() const;

@@ -65,8 +65,10 @@ Status EventLog::Validate() const {
   return Status::OK();
 }
 
-StatusOr<std::string> SerializeEventLog(const EventLog& log) {
-  LTC_RETURN_IF_ERROR(log.Validate());
+StatusOr<std::string> SerializeEventLogHeader(const EventLog& log) {
+  if (log.accuracy == nullptr) {
+    return Status::InvalidArgument("event log has no accuracy function");
+  }
   LTC_ASSIGN_OR_RETURN(std::string accuracy_line, AccuracyLine(*log.accuracy));
   std::string out = kHeader;
   out += '\n';
@@ -74,24 +76,82 @@ StatusOr<std::string> SerializeEventLog(const EventLog& log) {
   out += StrFormat("capacity %d\n", log.capacity);
   out += StrFormat("acc_min %.17g\n", log.acc_min);
   out += accuracy_line + "\n";
+  return out;
+}
+
+std::string FormatEventRecord(const Event& e) {
+  switch (e.kind) {
+    case Event::Kind::kTaskArrival:
+      return StrFormat("t %.17g %.17g %.17g\n", e.time, e.location.x,
+                       e.location.y);
+    case Event::Kind::kWorkerArrival:
+      return StrFormat("w %.17g %.17g %.17g %.17g\n", e.time, e.location.x,
+                       e.location.y, e.accuracy);
+    case Event::Kind::kTaskMove:
+      return StrFormat("m %.17g %d %.17g %.17g\n", e.time, e.task,
+                       e.location.x, e.location.y);
+  }
+  return std::string();
+}
+
+StatusOr<std::string> SerializeEventLog(const EventLog& log) {
+  LTC_RETURN_IF_ERROR(log.Validate());
+  LTC_ASSIGN_OR_RETURN(std::string out, SerializeEventLogHeader(log));
   out += StrFormat("events %lld\n", static_cast<long long>(log.num_events()));
   for (const Event& e : log.events) {
-    switch (e.kind) {
-      case Event::Kind::kTaskArrival:
-        out += StrFormat("t %.17g %.17g %.17g\n", e.time, e.location.x,
-                         e.location.y);
-        break;
-      case Event::Kind::kWorkerArrival:
-        out += StrFormat("w %.17g %.17g %.17g %.17g\n", e.time, e.location.x,
-                         e.location.y, e.accuracy);
-        break;
-      case Event::Kind::kTaskMove:
-        out += StrFormat("m %.17g %d %.17g %.17g\n", e.time, e.task,
-                         e.location.x, e.location.y);
-        break;
-    }
+    out += FormatEventRecord(e);
   }
   return out;
+}
+
+StatusOr<Event> ParseEventRecord(const std::string& line) {
+  const std::string trimmed = Trim(line);
+  const auto fields = Split(trimmed, ' ');
+  if (fields.empty() || fields[0].empty()) {
+    return Status::InvalidArgument("empty event record");
+  }
+  const std::string& key = fields[0];
+  Event e;
+  if (key == "t") {
+    if (fields.size() != 4) {
+      return Status::InvalidArgument("bad task event record: " + trimmed);
+    }
+    e.kind = Event::Kind::kTaskArrival;
+    if (!ParseDouble(fields[1], &e.time) ||
+        !ParseDouble(fields[2], &e.location.x) ||
+        !ParseDouble(fields[3], &e.location.y)) {
+      return Status::InvalidArgument("bad task event record: " + trimmed);
+    }
+    return e;
+  }
+  if (key == "w") {
+    if (fields.size() != 5) {
+      return Status::InvalidArgument("bad worker event record: " + trimmed);
+    }
+    e.kind = Event::Kind::kWorkerArrival;
+    if (!ParseDouble(fields[1], &e.time) ||
+        !ParseDouble(fields[2], &e.location.x) ||
+        !ParseDouble(fields[3], &e.location.y) ||
+        !ParseDouble(fields[4], &e.accuracy)) {
+      return Status::InvalidArgument("bad worker event record: " + trimmed);
+    }
+    return e;
+  }
+  if (key == "m") {
+    if (fields.size() != 5) {
+      return Status::InvalidArgument("bad move event record: " + trimmed);
+    }
+    e.kind = Event::Kind::kTaskMove;
+    std::int64_t task;
+    if (!ParseDouble(fields[1], &e.time) || !ParseInt64(fields[2], &task) ||
+        !ParseDouble(fields[3], &e.location.x) ||
+        !ParseDouble(fields[4], &e.location.y)) {
+      return Status::InvalidArgument("bad move event record: " + trimmed);
+    }
+    e.task = static_cast<model::TaskId>(task);
+    return e;
+  }
+  return Status::InvalidArgument("unknown event record '" + key + "'");
 }
 
 StatusOr<EventLog> ParseEventLog(const std::string& text) {
@@ -155,42 +215,12 @@ StatusOr<EventLog> ParseEventLog(const std::string& text) {
         return Status::InvalidArgument("bad event count");
       }
       log.events.reserve(static_cast<std::size_t>(expected_events));
-    } else if (key == "t") {
-      LTC_RETURN_IF_ERROR(need(4));
-      Event e;
-      e.kind = Event::Kind::kTaskArrival;
-      if (!ParseDouble(fields[1], &e.time) ||
-          !ParseDouble(fields[2], &e.location.x) ||
-          !ParseDouble(fields[3], &e.location.y)) {
-        return Status::InvalidArgument(
-            StrFormat("bad task event line %zu", i + 1));
+    } else if (key == "t" || key == "w" || key == "m") {
+      auto event = ParseEventRecord(line);
+      if (!event.ok()) {
+        return event.status().WithContext(StrFormat("line %zu", i + 1));
       }
-      log.events.push_back(e);
-    } else if (key == "w") {
-      LTC_RETURN_IF_ERROR(need(5));
-      Event e;
-      e.kind = Event::Kind::kWorkerArrival;
-      if (!ParseDouble(fields[1], &e.time) ||
-          !ParseDouble(fields[2], &e.location.x) ||
-          !ParseDouble(fields[3], &e.location.y) ||
-          !ParseDouble(fields[4], &e.accuracy)) {
-        return Status::InvalidArgument(
-            StrFormat("bad worker event line %zu", i + 1));
-      }
-      log.events.push_back(e);
-    } else if (key == "m") {
-      LTC_RETURN_IF_ERROR(need(5));
-      Event e;
-      e.kind = Event::Kind::kTaskMove;
-      std::int64_t task;
-      if (!ParseDouble(fields[1], &e.time) || !ParseInt64(fields[2], &task) ||
-          !ParseDouble(fields[3], &e.location.x) ||
-          !ParseDouble(fields[4], &e.location.y)) {
-        return Status::InvalidArgument(
-            StrFormat("bad move event line %zu", i + 1));
-      }
-      e.task = static_cast<model::TaskId>(task);
-      log.events.push_back(e);
+      log.events.push_back(event.value());
     } else {
       return Status::InvalidArgument("unknown record '" + key + "'");
     }

@@ -79,6 +79,22 @@ struct EventLog {
 /// Serialises the log into the v1 text format.
 StatusOr<std::string> SerializeEventLog(const EventLog& log);
 
+/// The v1 header block alone — "# ltc-events v1" through the accuracy line,
+/// *without* the "events N" count line (ParseEventLog treats the count as
+/// optional). This is the header a write-ahead log uses: a WAL's event count
+/// is unknowable at open time (io/wal.h).
+StatusOr<std::string> SerializeEventLogHeader(const EventLog& log);
+
+/// One v1 event record, newline-terminated — byte-identical to the record
+/// SerializeEventLog would emit. Shared with the WAL appender so a WAL is
+/// always a byte-prefix-compatible ltc-events file.
+std::string FormatEventRecord(const Event& e);
+
+/// Parses one v1 event record line ("t ...", "w ...", "m ...") — the
+/// inverse of FormatEventRecord. Shared with the wire codec (net/frame.h)
+/// so a socket payload is the same text a WAL or replay file holds.
+StatusOr<Event> ParseEventRecord(const std::string& line);
+
 /// Parses the v1 text format back into a log (validated).
 StatusOr<EventLog> ParseEventLog(const std::string& text);
 

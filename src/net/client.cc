@@ -1,0 +1,85 @@
+#include "net/client.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace ltc {
+namespace net {
+
+StatusOr<std::unique_ptr<IngestClient>> IngestClient::Connect(
+    const std::string& address, ClientOptions options) {
+  LTC_ASSIGN_OR_RETURN(Socket sock, ConnectTo(address));
+  std::unique_ptr<IngestClient> client(
+      new IngestClient(std::move(sock), options));
+  LTC_ASSIGN_OR_RETURN(const Ack hello,
+                       client->Call(FrameType::kHello, kWireProtocol));
+  LTC_RETURN_IF_ERROR(AckToStatus(hello));
+  return client;
+}
+
+StatusOr<Ack> IngestClient::Call(FrameType type, const std::string& payload) {
+  Frame frame;
+  frame.type = type;
+  frame.payload = payload;
+  LTC_RETURN_IF_ERROR(sock_.WriteAll(EncodeFrame(frame)));
+
+  char buf[64 * 1024];
+  while (true) {
+    Frame reply;
+    LTC_ASSIGN_OR_RETURN(const bool complete, decoder_.Next(&reply));
+    if (complete) {
+      if (reply.type != FrameType::kAck) {
+        return Status::Internal("wire: server sent a non-ack frame");
+      }
+      LTC_ASSIGN_OR_RETURN(Ack ack, DecodeAckPayload(reply.payload));
+      admitted_ = ack.admitted;
+      return ack;
+    }
+    LTC_ASSIGN_OR_RETURN(const std::size_t n,
+                         sock_.ReadSome(buf, sizeof(buf)));
+    if (n == 0) {
+      return Status::Unavailable("wire: server closed the connection");
+    }
+    decoder_.Feed(buf, n);
+  }
+}
+
+Status IngestClient::SendEvents(const std::vector<io::Event>& events) {
+  if (events.empty()) return Status::OK();
+  const std::string payload = EncodeEventsPayload(events);
+  int backoff_us = options_.backoff_initial_us;
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    LTC_ASSIGN_OR_RETURN(const Ack ack, Call(FrameType::kEvents, payload));
+    if (ack.code == StatusCode::kOk) return Status::OK();
+    if (ack.code != StatusCode::kResourceExhausted) {
+      return AckToStatus(ack);
+    }
+    // Backpressure: the server admitted nothing from this frame, so the
+    // retry cannot duplicate events. Back off and resend the same frame.
+    ++frames_retried_;
+    ::usleep(static_cast<useconds_t>(backoff_us));
+    backoff_us = std::min(backoff_us * 2, options_.backoff_max_us);
+  }
+  return Status::ResourceExhausted(
+      StrFormat("frame still rejected after %d attempts",
+                options_.max_attempts));
+}
+
+StatusOr<Ack> IngestClient::Finish() {
+  LTC_ASSIGN_OR_RETURN(const Ack ack, Call(FrameType::kFinish, ""));
+  LTC_RETURN_IF_ERROR(AckToStatus(ack));
+  return ack;
+}
+
+StatusOr<Ack> IngestClient::Stats() {
+  LTC_ASSIGN_OR_RETURN(const Ack ack, Call(FrameType::kStats, ""));
+  LTC_RETURN_IF_ERROR(AckToStatus(ack));
+  return ack;
+}
+
+}  // namespace net
+}  // namespace ltc

@@ -1,0 +1,73 @@
+// The ltc-wire v1 ingest client: a blocking request/response wrapper over
+// one connection, with the retry loop that turns server backpressure into
+// zero lost admitted events (net/server.h).
+
+#ifndef LTC_NET_CLIENT_H_
+#define LTC_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "io/event_log.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace ltc {
+namespace net {
+
+struct ClientOptions {
+  /// Send attempts per events frame before giving up on backpressure.
+  int max_attempts = 100000;
+  /// Backoff between rejected attempts, doubling from initial to max.
+  int backoff_initial_us = 100;
+  int backoff_max_us = 20000;
+};
+
+/// \brief One connection to an IngestServer.
+class IngestClient {
+ public:
+  /// Connects and completes the kHello handshake.
+  static StatusOr<std::unique_ptr<IngestClient>> Connect(
+      const std::string& address, ClientOptions options = {});
+
+  IngestClient(const IngestClient&) = delete;
+  IngestClient& operator=(const IngestClient&) = delete;
+
+  /// Ships one kEvents frame, retrying with exponential backoff while the
+  /// server answers resource-exhausted (backpressure). Any other rejection
+  /// is returned as its Status.
+  Status SendEvents(const std::vector<io::Event>& events);
+
+  /// Ends the stream. The returned ack carries the server's final admitted
+  /// total (every admitted event applied).
+  StatusOr<Ack> Finish();
+
+  /// Counters probe (ack message is a human-readable stats line).
+  StatusOr<Ack> Stats();
+
+  /// Backpressure rejections absorbed by SendEvents retries.
+  std::int64_t frames_retried() const { return frames_retried_; }
+  /// The server's latest acked admitted total.
+  std::uint64_t admitted() const { return admitted_; }
+
+ private:
+  explicit IngestClient(Socket sock, ClientOptions options)
+      : sock_(std::move(sock)), options_(options) {}
+
+  /// Sends one frame and waits for its ack.
+  StatusOr<Ack> Call(FrameType type, const std::string& payload);
+
+  Socket sock_;
+  FrameDecoder decoder_;
+  ClientOptions options_;
+  std::int64_t frames_retried_ = 0;
+  std::uint64_t admitted_ = 0;
+};
+
+}  // namespace net
+}  // namespace ltc
+
+#endif  // LTC_NET_CLIENT_H_

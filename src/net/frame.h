@@ -1,0 +1,111 @@
+// The "ltc-wire v1" framing protocol of the socket ingest path
+// (DESIGN.md §11): length-prefixed binary frames whose payloads reuse the
+// ltc-events v1 *text* record codec, so the bytes a client ships are the
+// bytes the WAL appends and the replay path parses — one codec, no drift.
+//
+//   frame   := u32le length | u8 type | payload
+//   length  := 1 + payload size (the type byte is covered)
+//
+// Types (the byte is the ASCII letter):
+//   'H' kHello   client → server, payload = "ltc-wire v1". First frame of a
+//                connection; anything else is rejected.
+//   'E' kEvents  client → server, payload = ltc-events records ("t ...\n",
+//                "w ...\n", "m ...\n"). Admission is all-or-nothing: the
+//                server admits every event of the frame or none (parse
+//                error, time regression, or backpressure → reject).
+//   'F' kFinish  client → server, empty payload: end of stream.
+//   'S' kStats   client → server, empty payload: counters probe.
+//   'A' kAck     server → client, payload = u8 status code | u64le admitted
+//                (the durable stream position: events recovered from the
+//                WAL on restart plus events admitted since) | UTF-8
+//                message. Sent in response to every client frame — the
+//                hello ack is how a reconnecting client learns where to
+//                resume after a server crash.
+//
+// A rejected kEvents frame leaves the server's admitted-event sequence
+// untouched, so the client retries the *same* frame until it is admitted —
+// that retry loop is what makes "zero lost admitted events under
+// backpressure" hold end to end (bench_serve_e2e drives it at wire level).
+
+#ifndef LTC_NET_FRAME_H_
+#define LTC_NET_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "io/event_log.h"
+
+namespace ltc {
+namespace net {
+
+inline constexpr char kWireProtocol[] = "ltc-wire v1";
+
+/// Upper bound on a frame payload — a sanity fence against garbage length
+/// prefixes, not a protocol limit (clients chunk event batches well below
+/// it).
+inline constexpr std::uint32_t kMaxFramePayload = 16u << 20;
+
+enum class FrameType : std::uint8_t {
+  kHello = 'H',
+  kEvents = 'E',
+  kFinish = 'F',
+  kAck = 'A',
+  kStats = 'S',
+};
+
+struct Frame {
+  FrameType type = FrameType::kHello;
+  std::string payload;
+};
+
+/// Serialises a frame (length prefix included).
+std::string EncodeFrame(const Frame& frame);
+
+/// \brief Incremental frame decoder over a byte stream.
+///
+/// Feed() appends raw socket bytes; Next() pops the earliest complete frame.
+/// Errors (unknown type byte, oversized length) are sticky — a desynced
+/// stream cannot resynchronise, so the connection must drop.
+class FrameDecoder {
+ public:
+  void Feed(const char* data, std::size_t len) { buffer_.append(data, len); }
+
+  /// True + *frame when a complete frame was buffered; false when more
+  /// bytes are needed; error when the stream is unparseable.
+  StatusOr<bool> Next(Frame* frame);
+
+  std::size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+/// The decoded payload of a kAck frame.
+struct Ack {
+  StatusCode code = StatusCode::kOk;
+  /// Events admitted so far on this connection's stream (running total —
+  /// lets a client detect duplicated or lost admissions).
+  std::uint64_t admitted = 0;
+  std::string message;
+};
+
+std::string EncodeAckPayload(const Ack& ack);
+StatusOr<Ack> DecodeAckPayload(const std::string& payload);
+
+/// OK for an OK ack; otherwise a Status carrying the ack's code and message.
+Status AckToStatus(const Ack& ack);
+
+/// Renders events as a kEvents payload (concatenated v1 records).
+std::string EncodeEventsPayload(const std::vector<io::Event>& events);
+
+/// Parses a kEvents payload. All-or-nothing: any bad record fails the whole
+/// payload.
+StatusOr<std::vector<io::Event>> DecodeEventsPayload(
+    const std::string& payload);
+
+}  // namespace net
+}  // namespace ltc
+
+#endif  // LTC_NET_FRAME_H_

@@ -1,0 +1,31 @@
+#include "net/serve_adapter.h"
+
+#include "net/server.h"
+
+namespace ltc {
+namespace net {
+
+svc::SocketServeFn SocketServeAdapter() {
+  return [](svc::RecoverableService* service,
+            const svc::SocketServeRequest& request)
+             -> StatusOr<svc::SocketServeResult> {
+    ServerOptions options;
+    options.listen = request.listen;
+    options.queue_capacity = request.queue_capacity;
+    IngestServer server(service, options);
+    LTC_RETURN_IF_ERROR(server.Serve(request.stop_flag));
+    const IngestCounters& c = server.counters();
+    svc::SocketServeResult result;
+    result.frames = c.frames;
+    result.frames_rejected = c.frames_rejected;
+    result.events_admitted = c.events_admitted;
+    result.events_rejected = c.events_rejected;
+    result.admitted_per_shard = c.admitted_per_shard;
+    result.rejected_per_shard = c.rejected_per_shard;
+    result.queue_high_water = c.queue_high_water;
+    return result;
+  };
+}
+
+}  // namespace net
+}  // namespace ltc

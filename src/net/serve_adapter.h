@@ -1,0 +1,22 @@
+// Bridges the net transport into svc::ServeMain's injected socket hook.
+// The svc layer cannot link against net (net sits above svc), so the
+// binary passes this adapter down: ServeMain owns the flags, modes, and
+// durable service; the adapter owns listening, framing, and admission.
+
+#ifndef LTC_NET_SERVE_ADAPTER_H_
+#define LTC_NET_SERVE_ADAPTER_H_
+
+#include "svc/serve_main.h"
+
+namespace ltc {
+namespace net {
+
+/// Returns a SocketServeFn that runs an IngestServer over the request's
+/// listen address until a finish frame or the stop flag, then reports the
+/// admission counters back as a svc::SocketServeResult.
+svc::SocketServeFn SocketServeAdapter();
+
+}  // namespace net
+}  // namespace ltc
+
+#endif  // LTC_NET_SERVE_ADAPTER_H_

@@ -1,11 +1,18 @@
 #include "svc/serve_main.h"
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
+#include <memory>
+#include <utility>
 
+#include "common/fault_points.h"
 #include "common/flags.h"
 #include "common/string_util.h"
+#include "common/timer.h"
 #include "gen/stream.h"
 #include "io/workload_io.h"
+#include "model/accuracy.h"
 
 namespace ltc {
 namespace svc {
@@ -70,19 +77,92 @@ Flag<bool> FLAG_validate("validate", true,
                          "validate the final arrangement against every LTC "
                          "constraint");
 
+// Durable / server mode (DESIGN.md section 11).
+Flag<std::string> FLAG_state_dir(
+    "state_dir", "",
+    "durable state directory (WAL + snapshots). With --events/--synthetic: "
+    "crash-recoverable replay. Required with --listen.");
+Flag<std::int64_t> FLAG_snapshot_every(
+    "snapshot_every", 0,
+    "snapshot the engine state every N applied events (0 = only the final "
+    "shutdown snapshot)");
+Flag<std::int64_t> FLAG_snapshot_retain("snapshot_retain", 2,
+                                        "snapshots kept on disk");
+Flag<std::int64_t> FLAG_wal_group_commit(
+    "wal_group_commit", 64,
+    "WAL group-commit window: flush (and fsync) every N appended events");
+Flag<bool> FLAG_wal_fsync("wal_fsync", true,
+                          "fsync the WAL at each group-commit flush");
+Flag<double> FLAG_world_side(
+    "world_side", 1000.0,
+    "durable modes: side of the fixed [0,side]^2 world rectangle (the grid "
+    "geometry must not depend on events the service has not seen yet; "
+    "out-of-world arrivals clamp into boundary cells)");
+Flag<std::string> FLAG_listen(
+    "listen", "",
+    "serve ltc-wire v1 socket ingest on this address (unix:/PATH or "
+    "tcp:PORT) instead of replaying a log; requires --state_dir");
+Flag<std::int64_t> FLAG_queue_capacity(
+    "queue_capacity", 4096,
+    "--listen: ingest queue capacity in events (the backpressure "
+    "high-water mark; full-queue frames are rejected, not buffered)");
+Flag<std::string> FLAG_header_from(
+    "header_from", "",
+    "--listen: take the instance parameters (epsilon, capacity, acc_min, "
+    "accuracy) from this ltc-events file's header instead of the Table-IV "
+    "defaults");
+
+// SIGINT/SIGTERM request a graceful drain of the socket server: stop
+// accepting, apply every admitted event, final snapshot, close the WAL.
+std::atomic<bool> g_stop_requested{false};
+
+void HandleStopSignal(int) { g_stop_requested.store(true); }
+
+int FailConfig(const Status& status) {
+  std::fprintf(stderr, "ltc_serve: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int FailRuntime(const Status& status) {
+  std::fprintf(stderr, "ltc_serve: %s\n", status.ToString().c_str());
+  return 2;
+}
+
+void PrintRecovery(const RecoverableService::RecoveryInfo& r) {
+  if (!r.recovered) return;
+  std::printf(
+      "recovered: %lld durable WAL event(s), snapshot at %lld, %lld "
+      "replayed, %d snapshot(s) discarded, %lld torn byte(s) truncated\n",
+      static_cast<long long>(r.wal_records),
+      static_cast<long long>(r.snapshot_events),
+      static_cast<long long>(r.replayed), r.snapshots_discarded,
+      static_cast<long long>(r.wal_truncated_bytes));
+}
+
+/// Fills the sim::RunMetrics view of a durable run from the engine.
+void FillRunMetrics(const StreamOptions& options,
+                    const RecoverableService& service, double runtime_seconds,
+                    ServeReport* report) {
+  const ShardedStreamEngine& engine = service.engine();
+  report->run.algorithm = options.algorithm;
+  report->run.latency = engine.max_assigned_worker();
+  report->run.completed =
+      report->metrics.tasks_completed == report->metrics.task_events;
+  report->run.runtime_seconds = runtime_seconds;
+  report->run.assignment_latency = report->metrics.assignment_latency;
+  report->run.stats.workers_seen = report->metrics.worker_events;
+  report->run.stats.assignments = report->metrics.assignments;
+  report->run.stats.total_acc_star = engine.total_acc_star();
+  report->run.stats.workers_used = engine.workers_used();
+}
+
 }  // namespace
 
-StatusOr<ServeReport> RunService(const io::EventLog& log,
-                                 const StreamOptions& options) {
-  ServeReport report;
-  std::vector<StreamAssignment> assignments;
-  LTC_ASSIGN_OR_RETURN(ReplayResult replay,
-                       ReplayEventLog(log, options, &assignments));
-  report.metrics = replay.stream;
-  report.run = replay.run;
-
-  std::string& out = report.assignment_log;
-  out = "# ltc-serve v1\n";
+std::string RenderAssignmentLog(
+    const StreamOptions& options,
+    const std::vector<StreamAssignment>& assignments,
+    const StreamMetrics& metrics) {
+  std::string out = "# ltc-serve v1\n";
   out += StrFormat(
       "# algorithm %s deadline %.17g max_batch %lld seed %llu shards %d\n",
       options.algorithm.c_str(), options.batch_deadline,
@@ -93,15 +173,72 @@ StatusOr<ServeReport> RunService(const io::EventLog& log,
   }
   out += StrFormat(
       "# events %lld batches %lld assignments %lld completed %lld/%lld\n",
-      static_cast<long long>(report.metrics.events),
-      static_cast<long long>(report.metrics.batches),
-      static_cast<long long>(report.metrics.assignments),
-      static_cast<long long>(report.metrics.tasks_completed),
-      static_cast<long long>(report.metrics.task_events));
+      static_cast<long long>(metrics.events),
+      static_cast<long long>(metrics.batches),
+      static_cast<long long>(metrics.assignments),
+      static_cast<long long>(metrics.tasks_completed),
+      static_cast<long long>(metrics.task_events));
+  return out;
+}
+
+StatusOr<ServeReport> RunService(const io::EventLog& log,
+                                 const StreamOptions& options) {
+  ServeReport report;
+  std::vector<StreamAssignment> assignments;
+  LTC_ASSIGN_OR_RETURN(ReplayResult replay,
+                       ReplayEventLog(log, options, &assignments));
+  report.metrics = replay.stream;
+  report.run = replay.run;
+  report.assignment_log =
+      RenderAssignmentLog(options, assignments, report.metrics);
   return report;
 }
 
-std::string ServeMetricsJson(const ServeReport& report) {
+StatusOr<ServeReport> RunDurableService(const io::EventLog& log,
+                                        const StreamOptions& options,
+                                        const DurableConfig& durable) {
+  LTC_RETURN_IF_ERROR(log.Validate());
+  if (durable.state_dir.empty()) {
+    return Status::InvalidArgument("durable replay requires a state_dir");
+  }
+  RecoverableService::Options sopts;
+  sopts.state_dir = durable.state_dir;
+  sopts.stream = options;
+  sopts.wal = durable.wal;
+  sopts.snapshot_every = durable.snapshot_every;
+  sopts.snapshot_retain = durable.snapshot_retain;
+
+  Stopwatch watch;
+  LTC_ASSIGN_OR_RETURN(auto service, RecoverableService::Open(log, sopts));
+  if (service->events_applied() > log.num_events()) {
+    return Status::FailedPrecondition(StrFormat(
+        "state dir '%s' already holds %lld event(s) but the log replays "
+        "only %lld — is this the right state dir for this stream?",
+        durable.state_dir.c_str(),
+        static_cast<long long>(service->events_applied()),
+        static_cast<long long>(log.num_events())));
+  }
+  // Recovery-aware feed: the recovered prefix is already applied; ingest
+  // only the suffix the service has not seen.
+  for (std::int64_t i = service->events_applied(); i < log.num_events();
+       ++i) {
+    LTC_RETURN_IF_ERROR(
+        service->Ingest(log.events[static_cast<std::size_t>(i)])
+            .WithContext(StrFormat("event %lld", static_cast<long long>(i))));
+  }
+
+  ServeReport report;
+  report.durable = true;
+  report.recovery = service->recovery();
+  LTC_ASSIGN_OR_RETURN(report.metrics, service->Finish());
+  FillRunMetrics(options, *service, watch.ElapsedSeconds(), &report);
+  report.assignment_log =
+      RenderAssignmentLog(options, service->assignments(), report.metrics);
+  return report;
+}
+
+std::string ServeMetricsJson(const ServeReport& report,
+                             const std::string& extra_members) {
   const StreamMetrics& m = report.metrics;
   auto latency_json = [](const sim::LatencySummary& s) {
     return StrFormat(
@@ -114,12 +251,28 @@ std::string ServeMetricsJson(const ServeReport& report) {
           ? static_cast<double>(m.events) / report.run.runtime_seconds
           : 0.0;
   std::string json = "{\n";
+  json += extra_members;
   json += StrFormat("  \"algorithm\": \"%s\",\n",
                     JsonEscape(report.run.algorithm).c_str());
   json += StrFormat("  \"events\": %lld,\n", static_cast<long long>(m.events));
   json += StrFormat("  \"events_per_sec\": %.1f,\n", events_per_sec);
   json += StrFormat("  \"runtime_seconds\": %.6f,\n",
                     report.run.runtime_seconds);
+  if (report.durable) {
+    const RecoverableService::RecoveryInfo& r = report.recovery;
+    json += StrFormat("  \"recovered\": %s,\n",
+                      r.recovered ? "true" : "false");
+    json += StrFormat("  \"recovery_wal_records\": %lld,\n",
+                      static_cast<long long>(r.wal_records));
+    json += StrFormat("  \"recovery_snapshot_events\": %lld,\n",
+                      static_cast<long long>(r.snapshot_events));
+    json += StrFormat("  \"recovery_replayed\": %lld,\n",
+                      static_cast<long long>(r.replayed));
+    json += StrFormat("  \"recovery_snapshots_discarded\": %d,\n",
+                      r.snapshots_discarded);
+    json += StrFormat("  \"recovery_wal_truncated_bytes\": %lld,\n",
+                      static_cast<long long>(r.wal_truncated_bytes));
+  }
   json += StrFormat("  \"shards\": %lld,\n", static_cast<long long>(m.shards));
   json += StrFormat("  \"boundary_workers\": %lld,\n",
                     static_cast<long long>(m.boundary_workers));
@@ -146,49 +299,198 @@ std::string ServeMetricsJson(const ServeReport& report) {
   return json;
 }
 
-int ServeMain(int argc, char** argv) {
+namespace {
+
+/// Writes --out / --metrics_json and prints the human summary. Returns the
+/// process exit code (0 or 2).
+int EmitReport(const ServeReport& report, const StreamOptions& options,
+               const std::string& extra_json_members) {
+  if (!FLAG_out.Get().empty()) {
+    const Status written =
+        io::WriteFile(FLAG_out.Get(), report.assignment_log);
+    if (!written.ok()) return FailRuntime(written);
+  }
+  const std::string metrics_json =
+      ServeMetricsJson(report, extra_json_members);
+  if (!FLAG_metrics_json.Get().empty()) {
+    const Status written =
+        io::WriteFile(FLAG_metrics_json.Get(), metrics_json);
+    if (!written.ok()) return FailRuntime(written);
+  }
+
+  const StreamMetrics& m = report.metrics;
+  PrintRecovery(report.recovery);
+  std::printf(
+      "%s served %lld event(s) on %lld shard(s): %lld batch(es), "
+      "%lld assignment(s), %lld/%lld task(s) completed in %.3fs "
+      "(%.0f events/s)\n",
+      options.algorithm.c_str(), static_cast<long long>(m.events),
+      static_cast<long long>(m.shards), static_cast<long long>(m.batches),
+      static_cast<long long>(m.assignments),
+      static_cast<long long>(m.tasks_completed),
+      static_cast<long long>(m.task_events), report.run.runtime_seconds,
+      report.run.runtime_seconds > 0.0
+          ? static_cast<double>(m.events) / report.run.runtime_seconds
+          : 0.0);
+  std::printf("assignment latency: mean %.3f p50 %.3f p95 %.3f p99 %.3f "
+              "(stream time units)\n",
+              m.assignment_latency.mean, m.assignment_latency.p50,
+              m.assignment_latency.p95, m.assignment_latency.p99);
+  if (FLAG_out.Get().empty()) {
+    std::printf("(pass --out=FILE to write the assignment log)\n");
+  }
+  return 0;
+}
+
+/// The --listen mode: open (or recover) the durable service, hand it to the
+/// injected socket transport until a finish frame or SIGINT/SIGTERM, then
+/// drain, Finish, and report — with the ingest admission counters in the
+/// stdout footer and metrics JSON (never in the assignment log, which must
+/// stay byte-identical across restarts).
+int RunSocketServer(const StreamOptions& options,
+                    const SocketServeFn& socket_serve) {
+  io::EventLog header;
+  if (!FLAG_header_from.Get().empty()) {
+    auto loaded = io::LoadEventLog(FLAG_header_from.Get());
+    if (!loaded.ok()) {
+      return FailConfig(loaded.status().WithContext("--header_from"));
+    }
+    header = std::move(loaded).value();
+    header.events.clear();
+  } else {
+    // The Table-IV synthetic defaults (gen/stream.h).
+    header.epsilon = 0.1;
+    header.capacity = 6;
+    header.acc_min = model::kDefaultAccMin;
+    header.accuracy = std::make_shared<model::SigmoidDistanceAccuracy>(30.0);
+  }
+
+  RecoverableService::Options sopts;
+  sopts.state_dir = FLAG_state_dir.Get();
+  sopts.stream = options;
+  sopts.wal.group_commit = FLAG_wal_group_commit.Get();
+  sopts.wal.fsync = FLAG_wal_fsync.Get();
+  sopts.snapshot_every = FLAG_snapshot_every.Get();
+  sopts.snapshot_retain = static_cast<int>(FLAG_snapshot_retain.Get());
+
+  Stopwatch watch;
+  auto service = RecoverableService::Open(header, sopts);
+  if (!service.ok()) return FailRuntime(service.status());
+  PrintRecovery(service.value()->recovery());
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+
+  SocketServeRequest request;
+  request.listen = FLAG_listen.Get();
+  request.queue_capacity =
+      static_cast<std::size_t>(FLAG_queue_capacity.Get());
+  request.stop_flag = &g_stop_requested;
+  std::printf("listening on %s (queue capacity %zu event(s))\n",
+              request.listen.c_str(), request.queue_capacity);
+  std::fflush(stdout);
+
+  auto served = socket_serve(service.value().get(), request);
+  if (!served.ok()) {
+    // Abort: leave the durable state for the next recovery.
+    return FailRuntime(served.status().WithContext("socket serve"));
+  }
+
+  ServeReport report;
+  report.durable = true;
+  report.recovery = service.value()->recovery();
+  auto metrics = service.value()->Finish();
+  if (!metrics.ok()) {
+    return FailRuntime(metrics.status().WithContext("graceful drain"));
+  }
+  report.metrics = std::move(metrics).value();
+  FillRunMetrics(options, *service.value(), watch.ElapsedSeconds(), &report);
+  report.assignment_log = RenderAssignmentLog(
+      options, service.value()->assignments(), report.metrics);
+
+  const SocketServeResult& ing = served.value();
+  std::string extra;
+  extra += StrFormat("  \"ingest_frames\": %lld,\n",
+                     static_cast<long long>(ing.frames));
+  extra += StrFormat("  \"ingest_frames_rejected\": %lld,\n",
+                     static_cast<long long>(ing.frames_rejected));
+  extra += StrFormat("  \"ingest_events_admitted\": %lld,\n",
+                     static_cast<long long>(ing.events_admitted));
+  extra += StrFormat("  \"ingest_events_rejected\": %lld,\n",
+                     static_cast<long long>(ing.events_rejected));
+  extra += StrFormat("  \"ingest_queue_high_water\": %lld,\n",
+                     static_cast<long long>(ing.queue_high_water));
+  auto shard_array = [](const std::vector<std::int64_t>& v) {
+    std::string s = "[";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += StrFormat("%lld", static_cast<long long>(v[i]));
+    }
+    s += "]";
+    return s;
+  };
+  extra += "  \"ingest_admitted_per_shard\": " +
+           shard_array(ing.admitted_per_shard) + ",\n";
+  extra += "  \"ingest_rejected_per_shard\": " +
+           shard_array(ing.rejected_per_shard) + ",\n";
+
+  const int code = EmitReport(report, options, extra);
+  std::printf(
+      "ingest: %lld frame(s) (%lld rejected), %lld event(s) admitted, "
+      "%lld rejected, queue high-water %lld\n",
+      static_cast<long long>(ing.frames),
+      static_cast<long long>(ing.frames_rejected),
+      static_cast<long long>(ing.events_admitted),
+      static_cast<long long>(ing.events_rejected),
+      static_cast<long long>(ing.queue_high_water));
+  for (std::size_t s = 0; s < ing.admitted_per_shard.size(); ++s) {
+    std::printf("  shard %zu: admitted %lld rejected %lld\n", s,
+                static_cast<long long>(ing.admitted_per_shard[s]),
+                s < ing.rejected_per_shard.size()
+                    ? static_cast<long long>(ing.rejected_per_shard[s])
+                    : 0LL);
+  }
+  if (code == 0) {
+    std::printf("clean drain (%s): final snapshot written, WAL closed\n",
+                g_stop_requested.load() ? "signal" : "finish frame");
+  }
+  return code;
+}
+
+}  // namespace
+
+int ServeMain(int argc, char** argv, SocketServeFn socket_serve) {
   const Status parsed = ParseCommandLine(argc, argv);
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
     return parsed.IsFailedPrecondition() ? 0 : 1;
   }
-  if (FLAG_events.Get().empty() == !FLAG_synthetic.Get()) {
+  const int armed = FaultPoints::Instance().ArmFromEnv();
+  if (armed > 0) {
     std::fprintf(stderr,
-                 "ltc_serve: pass exactly one of --events=FILE or "
-                 "--synthetic\n");
-    return 1;
+                 "ltc_serve: armed %d fault point(s) from LTC_FAULTS\n",
+                 armed);
   }
 
-  io::EventLog log;
-  if (FLAG_synthetic.Get()) {
-    gen::StreamConfig cfg;
-    cfg.num_tasks = FLAG_tasks.Get();
-    cfg.num_workers = FLAG_workers.Get();
-    cfg.task_rate = FLAG_task_rate.Get();
-    cfg.worker_rate = FLAG_worker_rate.Get();
-    cfg.move_fraction = FLAG_move_fraction.Get();
-    cfg.grid_side = FLAG_grid_side.Get();
-    cfg.seed = static_cast<std::uint64_t>(FLAG_seed.Get());
-    auto generated = gen::GenerateStreamEvents(cfg);
-    if (!generated.ok()) {
-      std::fprintf(stderr, "%s\n", generated.status().ToString().c_str());
-      return 1;
+  const bool socket_mode = !FLAG_listen.Get().empty();
+  const bool durable = !FLAG_state_dir.Get().empty();
+  if (socket_mode) {
+    if (!durable) {
+      return FailConfig(Status::InvalidArgument(
+          "--listen requires --state_dir (the server is always durable)"));
     }
-    log = std::move(generated).value();
-  } else {
-    auto loaded = io::LoadEventLog(FLAG_events.Get());
-    if (!loaded.ok()) {
-      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
-      return 1;
+    if (!socket_serve) {
+      return FailConfig(Status::NotImplemented(
+          "this binary was built without a socket transport"));
     }
-    log = std::move(loaded).value();
-  }
-  if (!FLAG_save_events.Get().empty()) {
-    const Status saved = io::SaveEventLog(log, FLAG_save_events.Get());
-    if (!saved.ok()) {
-      std::fprintf(stderr, "%s\n", saved.ToString().c_str());
-      return 1;
+    if (!FLAG_events.Get().empty() || FLAG_synthetic.Get()) {
+      return FailConfig(Status::InvalidArgument(
+          "--listen takes its events from the socket; drop "
+          "--events/--synthetic"));
     }
+  } else if (FLAG_events.Get().empty() == !FLAG_synthetic.Get()) {
+    return FailConfig(Status::InvalidArgument(
+        "pass exactly one of --events=FILE, --synthetic, or --listen=ADDR"));
   }
 
   StreamOptions options;
@@ -204,11 +506,10 @@ int ServeMain(int argc, char** argv) {
     } else if (s == "mcf") {
       options.algorithm = "MCF";
     } else {
-      std::fprintf(stderr,
-                   "ltc_serve: unknown --scheduler '%s' (expected laf, aam, "
-                   "random, or mcf)\n",
-                   s.c_str());
-      return 1;
+      return FailConfig(Status::InvalidArgument(
+          StrFormat("unknown --scheduler '%s' (expected laf, aam, random, "
+                    "or mcf)",
+                    s.c_str())));
     }
   }
   options.batch_deadline = FLAG_deadline.Get();
@@ -220,54 +521,55 @@ int ServeMain(int argc, char** argv) {
   options.mcf_warm_start = FLAG_mcf_warm_start.Get();
   options.mcf_drift_check_every =
       static_cast<int>(FLAG_mcf_drift_check_every.Get());
-
-  auto report = RunService(log, options);
-  if (!report.ok()) {
-    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
-    return 1;
-  }
-
-  if (!FLAG_out.Get().empty()) {
-    const Status written =
-        io::WriteFile(FLAG_out.Get(), report.value().assignment_log);
-    if (!written.ok()) {
-      std::fprintf(stderr, "%s\n", written.ToString().c_str());
-      return 1;
+  if (durable) {
+    // Durable runs fix their grid geometry up front (svc/recoverable.h).
+    const double side = FLAG_world_side.Get();
+    if (!(side > 0.0)) {
+      return FailConfig(
+          Status::InvalidArgument("--world_side must be positive"));
     }
-  }
-  const std::string metrics_json = ServeMetricsJson(report.value());
-  if (!FLAG_metrics_json.Get().empty()) {
-    const Status written =
-        io::WriteFile(FLAG_metrics_json.Get(), metrics_json);
-    if (!written.ok()) {
-      std::fprintf(stderr, "%s\n", written.ToString().c_str());
-      return 1;
-    }
+    options.world = geo::Rect{0.0, 0.0, side, side};
   }
 
-  const StreamMetrics& m = report.value().metrics;
-  std::printf(
-      "%s served %lld event(s) on %lld shard(s): %lld batch(es), "
-      "%lld assignment(s), %lld/%lld task(s) completed in %.3fs "
-      "(%.0f events/s)\n",
-      options.algorithm.c_str(), static_cast<long long>(m.events),
-      static_cast<long long>(m.shards),
-      static_cast<long long>(m.batches),
-      static_cast<long long>(m.assignments),
-      static_cast<long long>(m.tasks_completed),
-      static_cast<long long>(m.task_events),
-      report.value().run.runtime_seconds,
-      report.value().run.runtime_seconds > 0.0
-          ? static_cast<double>(m.events) / report.value().run.runtime_seconds
-          : 0.0);
-  std::printf("assignment latency: mean %.3f p50 %.3f p95 %.3f p99 %.3f "
-              "(stream time units)\n",
-              m.assignment_latency.mean, m.assignment_latency.p50,
-              m.assignment_latency.p95, m.assignment_latency.p99);
-  if (FLAG_out.Get().empty()) {
-    std::printf("(pass --out=FILE to write the assignment log)\n");
+  if (socket_mode) return RunSocketServer(options, socket_serve);
+
+  io::EventLog log;
+  if (FLAG_synthetic.Get()) {
+    gen::StreamConfig cfg;
+    cfg.num_tasks = FLAG_tasks.Get();
+    cfg.num_workers = FLAG_workers.Get();
+    cfg.task_rate = FLAG_task_rate.Get();
+    cfg.worker_rate = FLAG_worker_rate.Get();
+    cfg.move_fraction = FLAG_move_fraction.Get();
+    cfg.grid_side = FLAG_grid_side.Get();
+    cfg.seed = static_cast<std::uint64_t>(FLAG_seed.Get());
+    auto generated = gen::GenerateStreamEvents(cfg);
+    if (!generated.ok()) return FailConfig(generated.status());
+    log = std::move(generated).value();
+  } else {
+    auto loaded = io::LoadEventLog(FLAG_events.Get());
+    if (!loaded.ok()) return FailConfig(loaded.status());
+    log = std::move(loaded).value();
   }
-  return 0;
+  if (!FLAG_save_events.Get().empty()) {
+    const Status saved = io::SaveEventLog(log, FLAG_save_events.Get());
+    if (!saved.ok()) return FailRuntime(saved);
+  }
+
+  StatusOr<ServeReport> report = Status::Internal("unreachable");
+  if (durable) {
+    DurableConfig dcfg;
+    dcfg.state_dir = FLAG_state_dir.Get();
+    dcfg.wal.group_commit = FLAG_wal_group_commit.Get();
+    dcfg.wal.fsync = FLAG_wal_fsync.Get();
+    dcfg.snapshot_every = FLAG_snapshot_every.Get();
+    dcfg.snapshot_retain = static_cast<int>(FLAG_snapshot_retain.Get());
+    report = RunDurableService(log, options, dcfg);
+  } else {
+    report = RunService(log, options);
+  }
+  if (!report.ok()) return FailRuntime(report.status());
+  return EmitReport(report.value(), options, "");
 }
 
 }  // namespace svc

@@ -25,10 +25,29 @@ bool DueOrder(const double a_time, const int a_shard, const double b_time,
   return a_shard < b_shard;
 }
 
+/// Per-shard pipeline configuration (shared by Create and Restore — the
+/// restart determinism contract needs identically configured pipelines).
+StreamPipeline::Config ShardConfig(const StreamOptions& options, int shard,
+                                   std::optional<double> cell) {
+  StreamPipeline::Config config;
+  config.algorithm = options.algorithm;
+  config.batch_deadline = options.batch_deadline;
+  config.max_batch = options.max_batch;
+  config.seed = options.seed;
+  config.shard_id = shard;
+  config.num_shards = options.shards;
+  config.mcf_warm_start = options.mcf_warm_start;
+  config.mcf_drift_check_every = options.mcf_drift_check_every;
+  config.world = options.world;
+  config.cell_size = cell;
+  return config;
+}
+
 }  // namespace
 
-StatusOr<std::unique_ptr<ShardedStreamEngine>> ShardedStreamEngine::Create(
-    const io::EventLog& header, const StreamOptions& options) {
+Status ShardedStreamEngine::InitCommon(const io::EventLog& header,
+                                       const StreamOptions& options,
+                                       std::optional<double>* cell_out) {
   if (options.shards < 1) {
     return Status::InvalidArgument("shards must be >= 1");
   }
@@ -38,11 +57,8 @@ StatusOr<std::unique_ptr<ShardedStreamEngine>> ShardedStreamEngine::Create(
   if (header.accuracy == nullptr) {
     return Status::InvalidArgument("event log header has no accuracy model");
   }
-
-  std::unique_ptr<ShardedStreamEngine> engine(
-      new ShardedStreamEngine(options));
-  engine->accuracy_ = header.accuracy;
-  engine->acc_min_ = header.acc_min;
+  accuracy_ = header.accuracy;
+  acc_min_ = header.acc_min;
 
   const auto cell =
       model::SpatialPruningCellSize(*header.accuracy, header.acc_min);
@@ -55,32 +71,231 @@ StatusOr<std::unique_ptr<ShardedStreamEngine>> ShardedStreamEngine::Create(
                                              static_cast<double>(options.shards),
                                          1.0);
   LTC_ASSIGN_OR_RETURN(
-      engine->map_, geo::ShardMap::Build(options.world, map_cell,
-                                         options.shards));
-
-  engine->pipelines_.reserve(static_cast<std::size_t>(options.shards));
-  for (int s = 0; s < options.shards; ++s) {
-    StreamPipeline::Config config;
-    config.algorithm = options.algorithm;
-    config.batch_deadline = options.batch_deadline;
-    config.max_batch = options.max_batch;
-    config.seed = options.seed;
-    config.shard_id = s;
-    config.num_shards = options.shards;
-    config.mcf_warm_start = options.mcf_warm_start;
-    config.mcf_drift_check_every = options.mcf_drift_check_every;
-    config.world = options.world;
-    config.cell_size = cell;
-    LTC_ASSIGN_OR_RETURN(auto pipeline,
-                         StreamPipeline::Create(header, config));
-    engine->pipelines_.push_back(std::move(pipeline));
-  }
-  engine->route_flags_.assign(static_cast<std::size_t>(options.shards), 0);
+      map_, geo::ShardMap::Build(options.world, map_cell, options.shards));
+  route_flags_.assign(static_cast<std::size_t>(options.shards), 0);
 
   int threads = options.threads;
   if (threads == 0) threads = ThreadPool::DefaultThreads();
   if (threads > 1) {
-    engine->pool_ = std::make_unique<ThreadPool>(threads);
+    pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  *cell_out = cell;
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<ShardedStreamEngine>> ShardedStreamEngine::Create(
+    const io::EventLog& header, const StreamOptions& options) {
+  std::unique_ptr<ShardedStreamEngine> engine(
+      new ShardedStreamEngine(options));
+  std::optional<double> cell;
+  LTC_RETURN_IF_ERROR(engine->InitCommon(header, options, &cell));
+
+  engine->pipelines_.reserve(static_cast<std::size_t>(options.shards));
+  for (int s = 0; s < options.shards; ++s) {
+    LTC_ASSIGN_OR_RETURN(
+        auto pipeline,
+        StreamPipeline::Create(header, ShardConfig(options, s, cell)));
+    engine->pipelines_.push_back(std::move(pipeline));
+  }
+  return engine;
+}
+
+Status ShardedStreamEngine::SerializeTo(std::string* out) const {
+  if (finished_) {
+    return Status::FailedPrecondition("SerializeTo after Finish");
+  }
+  out->append(StrFormat("shards %d\n", num_shards()));
+  out->append(StrFormat("clock %.17g\n", last_event_time_));
+  out->append(StrFormat("counters %lld %lld %lld %lld %lld %lld\n",
+                        static_cast<long long>(metrics_.events),
+                        static_cast<long long>(metrics_.task_events),
+                        static_cast<long long>(metrics_.worker_events),
+                        static_cast<long long>(metrics_.move_events),
+                        static_cast<long long>(metrics_.boundary_workers),
+                        static_cast<long long>(metrics_.handoff_skips)));
+
+  out->append(StrFormat("tasks %lld\n",
+                        static_cast<long long>(task_route_.size())));
+  for (std::size_t t = 0; t < task_route_.size(); ++t) {
+    out->append(StrFormat("r %d %lld %d\n", task_route_[t].shard,
+                          static_cast<long long>(task_route_[t].local),
+                          task_open_[t] ? 1 : 0));
+  }
+
+  // Hash-map state in sorted key order: snapshot bytes must not depend on
+  // iteration order.
+  std::vector<model::TaskId> displaced_keys;
+  displaced_keys.reserve(displaced_.size());
+  for (const auto& [task, d] : displaced_) displaced_keys.push_back(task);
+  std::sort(displaced_keys.begin(), displaced_keys.end());
+  out->append(StrFormat("displaced %lld\n",
+                        static_cast<long long>(displaced_keys.size())));
+  for (const model::TaskId task : displaced_keys) {
+    const Displaced& d = displaced_.at(task);
+    out->append(StrFormat("d %lld %d %.17g %.17g\n",
+                          static_cast<long long>(task), d.owner, d.location.x,
+                          d.location.y));
+  }
+  std::vector<model::WorkerIndex> claim_keys;
+  claim_keys.reserve(claims_.size());
+  for (const auto& [worker, c] : claims_) claim_keys.push_back(worker);
+  std::sort(claim_keys.begin(), claim_keys.end());
+  out->append(StrFormat("claims %lld\n",
+                        static_cast<long long>(claim_keys.size())));
+  for (const model::WorkerIndex worker : claim_keys) {
+    const Claim& c = claims_.at(worker);
+    out->append(StrFormat("c %lld %d %d\n", static_cast<long long>(worker),
+                          c.shard, c.remaining));
+  }
+
+  // The merged assignment log: a restarted server re-renders the *complete*
+  // log, so the prefix committed before the snapshot rides along.
+  out->append(StrFormat("log %lld\n",
+                        static_cast<long long>(assignments_.size())));
+  for (const StreamAssignment& a : assignments_) {
+    out->append(StrFormat("A %.17g %lld %lld\n", a.time,
+                          static_cast<long long>(a.worker),
+                          static_cast<long long>(a.task)));
+  }
+
+  for (int s = 0; s < num_shards(); ++s) {
+    out->append(StrFormat("pipeline %d\n", s));
+    LTC_RETURN_IF_ERROR(
+        pipelines_[static_cast<std::size_t>(s)]->SerializeTo(out));
+  }
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<ShardedStreamEngine>> ShardedStreamEngine::Restore(
+    const io::EventLog& header, const StreamOptions& options,
+    const std::string& engine_state) {
+  std::unique_ptr<ShardedStreamEngine> engine(
+      new ShardedStreamEngine(options));
+  std::optional<double> cell;
+  LTC_RETURN_IF_ERROR(engine->InitCommon(header, options, &cell));
+
+  snap::Reader reader(engine_state);
+  std::vector<std::string> f;
+
+  LTC_RETURN_IF_ERROR(reader.Read("shards", 2, &f));
+  std::int64_t shards = 0;
+  LTC_RETURN_IF_ERROR(snap::FieldI64(f, 1, &shards));
+  if (shards != options.shards) {
+    return Status::InvalidArgument(StrFormat(
+        "snapshot taken with %lld shards; the service is configured for %d "
+        "(restore requires an identical topology)",
+        static_cast<long long>(shards), options.shards));
+  }
+  LTC_RETURN_IF_ERROR(reader.Read("clock", 2, &f));
+  LTC_RETURN_IF_ERROR(snap::FieldDouble(f, 1, &engine->last_event_time_));
+  LTC_RETURN_IF_ERROR(reader.Read("counters", 7, &f));
+  LTC_RETURN_IF_ERROR(snap::FieldI64(f, 1, &engine->metrics_.events));
+  LTC_RETURN_IF_ERROR(snap::FieldI64(f, 2, &engine->metrics_.task_events));
+  LTC_RETURN_IF_ERROR(snap::FieldI64(f, 3, &engine->metrics_.worker_events));
+  LTC_RETURN_IF_ERROR(snap::FieldI64(f, 4, &engine->metrics_.move_events));
+  LTC_RETURN_IF_ERROR(
+      snap::FieldI64(f, 5, &engine->metrics_.boundary_workers));
+  LTC_RETURN_IF_ERROR(snap::FieldI64(f, 6, &engine->metrics_.handoff_skips));
+
+  LTC_RETURN_IF_ERROR(reader.Read("tasks", 2, &f));
+  std::int64_t nt = 0;
+  LTC_RETURN_IF_ERROR(snap::FieldI64(f, 1, &nt));
+  if (nt < 0) return Status::InvalidArgument("snapshot: negative task count");
+  engine->task_route_.reserve(static_cast<std::size_t>(nt));
+  engine->task_open_.reserve(static_cast<std::size_t>(nt));
+  for (std::int64_t t = 0; t < nt; ++t) {
+    LTC_RETURN_IF_ERROR(reader.Read("r", 4, &f));
+    std::int64_t shard = 0;
+    std::int64_t local = 0;
+    std::int64_t open = 0;
+    LTC_RETURN_IF_ERROR(snap::FieldI64(f, 1, &shard));
+    LTC_RETURN_IF_ERROR(snap::FieldI64(f, 2, &local));
+    LTC_RETURN_IF_ERROR(snap::FieldI64(f, 3, &open));
+    if (shard < 0 || shard >= options.shards || local < 0) {
+      return Status::OutOfRange("snapshot: task route out of range");
+    }
+    engine->task_route_.push_back(TaskRoute{
+        static_cast<int>(shard), static_cast<model::TaskId>(local)});
+    engine->task_open_.push_back(open != 0 ? 1 : 0);
+  }
+
+  LTC_RETURN_IF_ERROR(reader.Read("displaced", 2, &f));
+  std::int64_t nd = 0;
+  LTC_RETURN_IF_ERROR(snap::FieldI64(f, 1, &nd));
+  for (std::int64_t i = 0; i < nd; ++i) {
+    LTC_RETURN_IF_ERROR(reader.Read("d", 5, &f));
+    std::int64_t task = 0;
+    std::int64_t owner = 0;
+    Displaced d;
+    LTC_RETURN_IF_ERROR(snap::FieldI64(f, 1, &task));
+    LTC_RETURN_IF_ERROR(snap::FieldI64(f, 2, &owner));
+    LTC_RETURN_IF_ERROR(snap::FieldDouble(f, 3, &d.location.x));
+    LTC_RETURN_IF_ERROR(snap::FieldDouble(f, 4, &d.location.y));
+    if (task < 0 || task >= nt || owner < 0 || owner >= options.shards) {
+      return Status::OutOfRange("snapshot: displaced record out of range");
+    }
+    d.owner = static_cast<int>(owner);
+    engine->displaced_[static_cast<model::TaskId>(task)] = d;
+  }
+
+  LTC_RETURN_IF_ERROR(reader.Read("claims", 2, &f));
+  std::int64_t nc = 0;
+  LTC_RETURN_IF_ERROR(snap::FieldI64(f, 1, &nc));
+  for (std::int64_t i = 0; i < nc; ++i) {
+    LTC_RETURN_IF_ERROR(reader.Read("c", 4, &f));
+    std::int64_t worker = 0;
+    std::int64_t shard = 0;
+    std::int64_t remaining = 0;
+    LTC_RETURN_IF_ERROR(snap::FieldI64(f, 1, &worker));
+    LTC_RETURN_IF_ERROR(snap::FieldI64(f, 2, &shard));
+    LTC_RETURN_IF_ERROR(snap::FieldI64(f, 3, &remaining));
+    if (worker < 1 || shard < -1 || shard >= options.shards ||
+        remaining < 0) {
+      return Status::OutOfRange("snapshot: claim record out of range");
+    }
+    engine->claims_.emplace(
+        static_cast<model::WorkerIndex>(worker),
+        Claim{static_cast<int>(shard), static_cast<int>(remaining)});
+  }
+
+  LTC_RETURN_IF_ERROR(reader.Read("log", 2, &f));
+  std::int64_t na = 0;
+  LTC_RETURN_IF_ERROR(snap::FieldI64(f, 1, &na));
+  engine->assignments_.reserve(static_cast<std::size_t>(na));
+  for (std::int64_t i = 0; i < na; ++i) {
+    LTC_RETURN_IF_ERROR(reader.Read("A", 4, &f));
+    StreamAssignment a;
+    std::int64_t worker = 0;
+    std::int64_t task = 0;
+    LTC_RETURN_IF_ERROR(snap::FieldDouble(f, 1, &a.time));
+    LTC_RETURN_IF_ERROR(snap::FieldI64(f, 2, &worker));
+    LTC_RETURN_IF_ERROR(snap::FieldI64(f, 3, &task));
+    a.worker = static_cast<model::WorkerIndex>(worker);
+    a.task = static_cast<model::TaskId>(task);
+    engine->assignments_.push_back(a);
+    engine->max_assigned_worker_ =
+        std::max(engine->max_assigned_worker_, a.worker);
+  }
+  engine->metrics_.assignments =
+      static_cast<std::int64_t>(engine->assignments_.size());
+
+  engine->pipelines_.reserve(static_cast<std::size_t>(options.shards));
+  for (int s = 0; s < options.shards; ++s) {
+    LTC_RETURN_IF_ERROR(reader.Read("pipeline", 2, &f));
+    std::int64_t shard = 0;
+    LTC_RETURN_IF_ERROR(snap::FieldI64(f, 1, &shard));
+    if (shard != s) {
+      return Status::InvalidArgument("snapshot: pipeline blocks out of order");
+    }
+    LTC_ASSIGN_OR_RETURN(
+        auto pipeline,
+        StreamPipeline::Restore(header, ShardConfig(options, s, cell),
+                                &reader));
+    engine->pipelines_.push_back(std::move(pipeline));
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument(
+        "snapshot: trailing data after the last pipeline block");
   }
   return engine;
 }

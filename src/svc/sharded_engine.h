@@ -34,6 +34,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -54,6 +56,24 @@ class ShardedStreamEngine {
  public:
   static StatusOr<std::unique_ptr<ShardedStreamEngine>> Create(
       const io::EventLog& header, const StreamOptions& options);
+
+  /// Serializes the engine's full logical state (DESIGN.md §11): the stream
+  /// clock and event counters, the router tables (task routes and open
+  /// flags, displaced tasks, the claim table — map entries in sorted key
+  /// order so snapshot bytes are deterministic), the merged assignment log
+  /// (restarts re-render the complete log byte-for-byte), and every
+  /// pipeline's SerializeTo block. Only call between events.
+  Status SerializeTo(std::string* out) const;
+
+  /// Counterpart of SerializeTo: rebuilds an engine, from the same header
+  /// and options the original was created with, that continues the stream
+  /// exactly where the snapshot left off (svc_recovery_test pins the
+  /// byte-identity of the resulting assignment log). The ShardMap geometry
+  /// is derived from (header, options) like Create — snapshots only restore
+  /// into an identically configured service.
+  static StatusOr<std::unique_ptr<ShardedStreamEngine>> Restore(
+      const io::EventLog& header, const StreamOptions& options,
+      const std::string& engine_state);
 
   ShardedStreamEngine(const ShardedStreamEngine&) = delete;
   ShardedStreamEngine& operator=(const ShardedStreamEngine&) = delete;
@@ -83,6 +103,8 @@ class ShardedStreamEngine {
   std::int64_t workers_used() const;
 
   int num_shards() const { return static_cast<int>(pipelines_.size()); }
+  /// The stream clock: time of the latest applied event (0 before any).
+  double last_event_time() const { return last_event_time_; }
   const StreamPipeline& pipeline(int shard) const {
     return *pipelines_[static_cast<std::size_t>(shard)];
   }
@@ -115,6 +137,13 @@ class ShardedStreamEngine {
 
   explicit ShardedStreamEngine(const StreamOptions& options)
       : options_(options) {}
+
+  /// Validates (header, options) and initialises everything except the
+  /// pipelines: accuracy, shard map, route scratch, thread pool. *cell_out
+  /// receives the grid cell size the pipelines must use (shared by Create
+  /// and Restore).
+  Status InitCommon(const io::EventLog& header, const StreamOptions& options,
+                    std::optional<double>* cell_out);
 
   Status HandleTaskArrival(const io::Event& event);
   Status HandleWorkerArrival(const io::Event& event);

@@ -32,43 +32,51 @@ Status ConsumeFutures(std::vector<std::future<void>>* futures,
 
 // --- StreamPipeline -------------------------------------------------------
 
-StatusOr<std::unique_ptr<StreamPipeline>> StreamPipeline::Create(
-    const io::EventLog& header, const Config& config) {
+namespace {
+
+/// Validates a pipeline Config and builds its scheduler (shared by Create
+/// and Restore, which must construct identically configured schedulers for
+/// the restart determinism contract to hold).
+StatusOr<std::unique_ptr<algo::OnlineScheduler>> MakePipelineScheduler(
+    const StreamPipeline::Config& config) {
   if (!(config.batch_deadline >= 0.0)) {
     return Status::InvalidArgument("batch_deadline must be >= 0");
   }
   if (config.max_batch < 0) {
     return Status::InvalidArgument("max_batch must be >= 0");
   }
-  if (header.accuracy == nullptr) {
-    return Status::InvalidArgument("event log header has no accuracy model");
-  }
-  LTC_ASSIGN_OR_RETURN(bool online,
-                       algo::IsOnlineAlgorithm(config.algorithm));
+  LTC_ASSIGN_OR_RETURN(bool online, algo::IsOnlineAlgorithm(config.algorithm));
   if (!online) {
     return Status::InvalidArgument(
-        "streaming admission drives online schedulers; '" +
-        config.algorithm + "' is offline");
+        "streaming admission drives online schedulers; '" + config.algorithm +
+        "' is offline");
   }
-
-  std::unique_ptr<StreamPipeline> pipeline(new StreamPipeline(config));
-  pipeline->instance_.epsilon = header.epsilon;
-  pipeline->instance_.capacity = header.capacity;
-  pipeline->instance_.acc_min = header.acc_min;
-  pipeline->instance_.accuracy = header.accuracy;
-
   if (config.algorithm == "MCF") {
     // The registry's default-constructed MCF cannot carry the service's
     // warm-start knobs, so the pipeline builds its own.
     algo::McfLtcOptions mcf_options;
     mcf_options.warm_start = config.mcf_warm_start;
     mcf_options.drift_check_every = config.mcf_drift_check_every;
-    pipeline->scheduler_ = std::make_unique<algo::McfStream>(mcf_options);
-  } else {
-    LTC_ASSIGN_OR_RETURN(
-        pipeline->scheduler_,
-        algo::MakeOnlineScheduler(config.algorithm, config.seed));
+    return std::unique_ptr<algo::OnlineScheduler>(
+        std::make_unique<algo::McfStream>(mcf_options));
   }
+  return algo::MakeOnlineScheduler(config.algorithm, config.seed);
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<StreamPipeline>> StreamPipeline::Create(
+    const io::EventLog& header, const Config& config) {
+  if (header.accuracy == nullptr) {
+    return Status::InvalidArgument("event log header has no accuracy model");
+  }
+  std::unique_ptr<StreamPipeline> pipeline(new StreamPipeline(config));
+  pipeline->instance_.epsilon = header.epsilon;
+  pipeline->instance_.capacity = header.capacity;
+  pipeline->instance_.acc_min = header.acc_min;
+  pipeline->instance_.accuracy = header.accuracy;
+
+  LTC_ASSIGN_OR_RETURN(pipeline->scheduler_, MakePipelineScheduler(config));
   LTC_RETURN_IF_ERROR(pipeline->scheduler_->InitStreamingSharded(
       pipeline->instance_,
       algo::OnlineScheduler::StreamShardContext{config.shard_id,
@@ -79,6 +87,204 @@ StatusOr<std::unique_ptr<StreamPipeline>> StreamPipeline::Create(
         auto grid, geo::GridIndex::BuildDynamic(config.world,
                                                 *config.cell_size));
     pipeline->grid_.emplace(std::move(grid));
+  }
+  return pipeline;
+}
+
+Status StreamPipeline::SerializeTo(std::string* out) const {
+  if (!pending_assignments_.empty() || !pending_closed_.empty()) {
+    return Status::FailedPrecondition(
+        "pipeline snapshot mid-round: pending records not yet merged");
+  }
+  const std::int64_t nt = instance_.num_tasks();
+  out->append(StrFormat("ptasks %lld\n", static_cast<long long>(nt)));
+  for (std::int64_t t = 0; t < nt; ++t) {
+    const auto ti = static_cast<std::size_t>(t);
+    // Current location, not arrival location: moves already applied.
+    out->append(StrFormat("pt %lld %.17g %.17g %.17g\n",
+                          static_cast<long long>(task_global_[ti]),
+                          task_arrival_time_[ti],
+                          instance_.tasks[ti].location.x,
+                          instance_.tasks[ti].location.y));
+  }
+  out->append(StrFormat("pworkers %lld\n",
+                        static_cast<long long>(instance_.num_workers())));
+  for (std::size_t i = 0; i < instance_.workers.size(); ++i) {
+    const model::Worker& w = instance_.workers[i];
+    out->append(StrFormat("pw %lld %.17g %.17g %.17g\n",
+                          static_cast<long long>(worker_global_[i]),
+                          w.location.x, w.location.y, w.historical_accuracy));
+  }
+  out->append(StrFormat("pbatch %.17g %lld", batch_open_time_,
+                        static_cast<long long>(batch_.size())));
+  for (const model::WorkerIndex w : batch_) {
+    out->append(StrFormat(" %lld", static_cast<long long>(w)));
+  }
+  out->push_back('\n');
+  out->append(StrFormat("pcounters %lld %lld %lld\n",
+                        static_cast<long long>(batches_),
+                        static_cast<long long>(max_batch_size_),
+                        static_cast<long long>(tasks_completed_)));
+  out->append(StrFormat("plat_a %lld\n", static_cast<long long>(
+                                             assignment_latency_samples_.size())));
+  for (const double v : assignment_latency_samples_) {
+    out->append(StrFormat("l %.17g\n", v));
+  }
+  out->append(StrFormat("plat_c %lld\n", static_cast<long long>(
+                                             completion_latency_samples_.size())));
+  for (const double v : completion_latency_samples_) {
+    out->append(StrFormat("l %.17g\n", v));
+  }
+  std::string sched;
+  LTC_RETURN_IF_ERROR(scheduler_->SerializeState(&sched));
+  const auto sched_lines =
+      static_cast<std::int64_t>(std::count(sched.begin(), sched.end(), '\n'));
+  out->append(StrFormat("sched %lld\n", static_cast<long long>(sched_lines)));
+  out->append(sched);
+  out->append("endpipe\n");
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<StreamPipeline>> StreamPipeline::Restore(
+    const io::EventLog& header, const Config& config, snap::Reader* reader) {
+  if (header.accuracy == nullptr) {
+    return Status::InvalidArgument("event log header has no accuracy model");
+  }
+  std::unique_ptr<StreamPipeline> pipeline(new StreamPipeline(config));
+  pipeline->instance_.epsilon = header.epsilon;
+  pipeline->instance_.capacity = header.capacity;
+  pipeline->instance_.acc_min = header.acc_min;
+  pipeline->instance_.accuracy = header.accuracy;
+
+  std::vector<std::string> f;
+
+  // Tasks: local ids are the serialization order.
+  LTC_RETURN_IF_ERROR(reader->Read("ptasks", 2, &f));
+  std::int64_t nt = 0;
+  LTC_RETURN_IF_ERROR(snap::FieldI64(f, 1, &nt));
+  if (nt < 0) return Status::InvalidArgument("snapshot: negative task count");
+  pipeline->instance_.tasks.reserve(static_cast<std::size_t>(nt));
+  for (std::int64_t t = 0; t < nt; ++t) {
+    LTC_RETURN_IF_ERROR(reader->Read("pt", 5, &f));
+    std::int64_t global = 0;
+    model::Task task;
+    task.id = static_cast<model::TaskId>(t);
+    double arrival = 0.0;
+    LTC_RETURN_IF_ERROR(snap::FieldI64(f, 1, &global));
+    LTC_RETURN_IF_ERROR(snap::FieldDouble(f, 2, &arrival));
+    LTC_RETURN_IF_ERROR(snap::FieldDouble(f, 3, &task.location.x));
+    LTC_RETURN_IF_ERROR(snap::FieldDouble(f, 4, &task.location.y));
+    pipeline->instance_.tasks.push_back(task);
+    pipeline->task_arrival_time_.push_back(arrival);
+    pipeline->task_global_.push_back(static_cast<model::TaskId>(global));
+  }
+
+  // Workers: local arrival indices are the serialization order + 1.
+  LTC_RETURN_IF_ERROR(reader->Read("pworkers", 2, &f));
+  std::int64_t nw = 0;
+  LTC_RETURN_IF_ERROR(snap::FieldI64(f, 1, &nw));
+  if (nw < 0) {
+    return Status::InvalidArgument("snapshot: negative worker count");
+  }
+  pipeline->instance_.workers.reserve(static_cast<std::size_t>(nw));
+  for (std::int64_t i = 0; i < nw; ++i) {
+    LTC_RETURN_IF_ERROR(reader->Read("pw", 5, &f));
+    std::int64_t global = 0;
+    model::Worker worker;
+    worker.index = static_cast<model::WorkerIndex>(i + 1);
+    LTC_RETURN_IF_ERROR(snap::FieldI64(f, 1, &global));
+    LTC_RETURN_IF_ERROR(snap::FieldDouble(f, 2, &worker.location.x));
+    LTC_RETURN_IF_ERROR(snap::FieldDouble(f, 3, &worker.location.y));
+    LTC_RETURN_IF_ERROR(snap::FieldDouble(f, 4, &worker.historical_accuracy));
+    pipeline->instance_.workers.push_back(worker);
+    pipeline->worker_global_.push_back(
+        static_cast<model::WorkerIndex>(global));
+  }
+
+  // The open micro-batch.
+  LTC_RETURN_IF_ERROR(reader->Read("pbatch", 3, &f));
+  std::int64_t batch_n = 0;
+  LTC_RETURN_IF_ERROR(snap::FieldDouble(f, 1, &pipeline->batch_open_time_));
+  LTC_RETURN_IF_ERROR(snap::FieldI64(f, 2, &batch_n));
+  if (batch_n < 0 || f.size() != static_cast<std::size_t>(batch_n) + 3) {
+    return Status::InvalidArgument("snapshot: batch record length mismatch");
+  }
+  for (std::int64_t i = 0; i < batch_n; ++i) {
+    std::int64_t w = 0;
+    LTC_RETURN_IF_ERROR(snap::FieldI64(f, static_cast<std::size_t>(i) + 3, &w));
+    if (w < 1 || w > nw) {
+      return Status::OutOfRange("snapshot: batch worker out of range");
+    }
+    pipeline->batch_.push_back(static_cast<model::WorkerIndex>(w));
+  }
+
+  LTC_RETURN_IF_ERROR(reader->Read("pcounters", 4, &f));
+  LTC_RETURN_IF_ERROR(snap::FieldI64(f, 1, &pipeline->batches_));
+  LTC_RETURN_IF_ERROR(snap::FieldI64(f, 2, &pipeline->max_batch_size_));
+  LTC_RETURN_IF_ERROR(snap::FieldI64(f, 3, &pipeline->tasks_completed_));
+
+  // Latency samples (metrics parity across restarts, not schedule inputs).
+  LTC_RETURN_IF_ERROR(reader->Read("plat_a", 2, &f));
+  std::int64_t n_samples = 0;
+  LTC_RETURN_IF_ERROR(snap::FieldI64(f, 1, &n_samples));
+  for (std::int64_t i = 0; i < n_samples; ++i) {
+    LTC_RETURN_IF_ERROR(reader->Read("l", 2, &f));
+    double v = 0.0;
+    LTC_RETURN_IF_ERROR(snap::FieldDouble(f, 1, &v));
+    pipeline->assignment_latency_samples_.push_back(v);
+  }
+  LTC_RETURN_IF_ERROR(reader->Read("plat_c", 2, &f));
+  LTC_RETURN_IF_ERROR(snap::FieldI64(f, 1, &n_samples));
+  for (std::int64_t i = 0; i < n_samples; ++i) {
+    LTC_RETURN_IF_ERROR(reader->Read("l", 2, &f));
+    double v = 0.0;
+    LTC_RETURN_IF_ERROR(snap::FieldDouble(f, 1, &v));
+    pipeline->completion_latency_samples_.push_back(v);
+  }
+
+  // Scheduler blob: restore against the fully re-grown instance.
+  LTC_RETURN_IF_ERROR(reader->Read("sched", 2, &f));
+  std::int64_t sched_lines = 0;
+  LTC_RETURN_IF_ERROR(snap::FieldI64(f, 1, &sched_lines));
+  std::string blob;
+  for (std::int64_t i = 0; i < sched_lines; ++i) {
+    std::string line;
+    LTC_RETURN_IF_ERROR(reader->ReadRaw(&line));
+    blob += line;
+    blob += '\n';
+  }
+  LTC_ASSIGN_OR_RETURN(pipeline->scheduler_, MakePipelineScheduler(config));
+  LTC_RETURN_IF_ERROR(pipeline->scheduler_->RestoreState(
+      pipeline->instance_,
+      algo::OnlineScheduler::StreamShardContext{config.shard_id,
+                                                config.num_shards},
+      blob));
+  LTC_RETURN_IF_ERROR(reader->Read("endpipe", 1, &f));
+
+  // Derived state. open_ follows from the restored arrangement (a task is
+  // closed exactly when it reached delta — CloseCompleted's invariant), and
+  // the grid is rebuilt over the open set in ascending local-id order,
+  // which matches incremental maintenance query-for-query (the sorted-
+  // bucket invariant of geo/grid_index.h).
+  const model::Arrangement& arr = pipeline->scheduler_->arrangement();
+  if (arr.num_tasks() != nt) {
+    return Status::Internal("snapshot: scheduler/task count mismatch");
+  }
+  if (config.cell_size.has_value()) {
+    LTC_ASSIGN_OR_RETURN(
+        auto grid,
+        geo::GridIndex::BuildDynamic(config.world, *config.cell_size));
+    pipeline->grid_.emplace(std::move(grid));
+  }
+  pipeline->open_.assign(static_cast<std::size_t>(nt), 0);
+  for (std::int64_t t = 0; t < nt; ++t) {
+    const auto ti = static_cast<std::size_t>(t);
+    if (arr.TaskCompleted(static_cast<model::TaskId>(t))) continue;
+    pipeline->open_[ti] = 1;
+    if (pipeline->grid_.has_value()) {
+      LTC_RETURN_IF_ERROR(pipeline->grid_->Insert(
+          static_cast<model::TaskId>(t), pipeline->instance_.tasks[ti].location));
+    }
   }
   return pipeline;
 }

@@ -41,6 +41,7 @@
 #include "io/event_log.h"
 #include "model/problem.h"
 #include "sim/metrics.h"
+#include "svc/snapshot.h"
 
 namespace ltc {
 namespace svc {
@@ -175,6 +176,23 @@ class StreamPipeline {
   /// Creates a pipeline for a stream with `header`'s instance parameters.
   static StatusOr<std::unique_ptr<StreamPipeline>> Create(
       const io::EventLog& header, const Config& config);
+
+  /// Serializes the pipeline's full logical state (DESIGN.md §11): the
+  /// grown instance (tasks with arrival times and *current* locations,
+  /// workers), the open micro-batch, the batch counters, the latency
+  /// samples, and the scheduler's own SerializeState blob. The grid index
+  /// is NOT serialized — it is derived state, rebuilt over the open set on
+  /// restore (bucket contents stay ascending by id either way, so queries
+  /// match; geo/grid_index.h). Only call between events: the per-round
+  /// pending_* buffers must be empty.
+  Status SerializeTo(std::string* out) const;
+
+  /// Counterpart of SerializeTo: rebuilds a pipeline from a serialized
+  /// block at *cursor (advancing it past the block). The restored pipeline
+  /// is commitment-for-commitment indistinguishable from one that lived
+  /// through the whole stream prefix (svc_recovery_test pins this).
+  static StatusOr<std::unique_ptr<StreamPipeline>> Restore(
+      const io::EventLog& header, const Config& config, snap::Reader* reader);
 
   StreamPipeline(const StreamPipeline&) = delete;
   StreamPipeline& operator=(const StreamPipeline&) = delete;

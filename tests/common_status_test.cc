@@ -36,6 +36,25 @@ TEST(StatusTest, AllFactoryCodes) {
   EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
 }
 
+TEST(StatusTest, ServiceCodes) {
+  // The server-facing codes (PR 7): backpressure rejects with
+  // resource-exhausted, a closing/closed service answers unavailable.
+  const Status u = Status::Unavailable("ingest queue closed");
+  EXPECT_TRUE(u.IsUnavailable());
+  EXPECT_EQ(u.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(u.ToString(), "unavailable: ingest queue closed");
+  const Status r = Status::ResourceExhausted("backpressure");
+  EXPECT_TRUE(r.IsResourceExhausted());
+  EXPECT_FALSE(Status::OK().IsUnavailable());
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "unavailable");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "resource-exhausted");
+  // The public (code, message) constructor, which the wire codec uses to
+  // rebuild a Status from an ack frame.
+  EXPECT_TRUE(Status(StatusCode::kUnavailable, "x").IsUnavailable());
+  EXPECT_TRUE(Status(StatusCode::kOk, "").ok());
+}
+
 TEST(StatusTest, WithContextPrependsAndPreservesCode) {
   Status s = Status::NotFound("task 7").WithContext("loading workload");
   EXPECT_TRUE(s.IsNotFound());

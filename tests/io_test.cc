@@ -3,10 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "gen/example_paper.h"
 #include "gen/stream.h"
 #include "gen/synthetic.h"
 #include "io/event_log.h"
+#include "io/wal.h"
 #include "io/workload_io.h"
 #include "model/eligibility.h"
 #include "sim/engine.h"
@@ -184,6 +187,168 @@ TEST(EventLogIoTest, CrlfTerminatedLogParsesTolerantly) {
   const auto round = SerializeEventLog(parsed.value());
   ASSERT_TRUE(round.ok());
   EXPECT_EQ(round.value(), text);
+}
+
+// --------------------------------------------------------------------------
+// Write-ahead log (io/wal.h): the WAL is an ltc-events file, so recovery is
+// ParseEventLog over the durable prefix; these pin the documented recovery
+// rules — torn tails truncate, corrupt prefixes surface, unflushed
+// group-commit windows vanish on crash.
+
+io::EventLog SmallEventLog() {
+  gen::StreamConfig cfg;
+  cfg.num_tasks = 5;
+  cfg.num_workers = 40;
+  cfg.seed = 17;
+  auto log = gen::GenerateStreamEvents(cfg);
+  log.status().CheckOK();
+  return std::move(log).value();
+}
+
+std::string WalPath(const std::string& name) {
+  const std::string path = "/tmp/ltc_io_test_" + name + ".events";
+  std::remove(path.c_str());
+  return path;
+}
+
+TEST(WalTest, CreateAppendReopenRoundTrip) {
+  const io::EventLog log = SmallEventLog();
+  const std::string path = WalPath("roundtrip");
+  WalOptions wopts;
+  wopts.fsync = false;
+  {
+    auto writer = EventLogWriter::Create(path, log, wopts);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    for (std::size_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE(writer.value()->Append(log.events[i]).ok());
+    }
+    EXPECT_EQ(writer.value()->records_appended(), 10);
+    ASSERT_TRUE(writer.value()->Close().ok());
+  }
+  WalRecovery recovery;
+  auto reopened = EventLogWriter::OpenForAppend(path, &recovery, wopts);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(recovery.truncated_bytes, 0);
+  ASSERT_EQ(recovery.log.num_events(), 10);
+  EXPECT_DOUBLE_EQ(recovery.log.epsilon, log.epsilon);
+  EXPECT_EQ(recovery.log.capacity, log.capacity);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(FormatEventRecord(recovery.log.events[i]),
+              FormatEventRecord(log.events[i]));
+  }
+  // Appends continue seamlessly; the file stays a parseable ltc-events log.
+  ASSERT_TRUE(reopened.value()->Append(log.events[10]).ok());
+  ASSERT_TRUE(reopened.value()->Close().ok());
+  auto loaded = LoadEventLog(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_events(), 11);
+}
+
+// Satellite regression (PR 7): a torn final record — the partial write a
+// crash leaves behind — is detected and truncated on open-for-append
+// instead of poisoning the parse or, worse, parsing as a valid-but-wrong
+// event.
+TEST(WalTest, TornFinalRecordIsTruncatedOnReopen) {
+  const io::EventLog log = SmallEventLog();
+  const std::string path = WalPath("torn");
+  WalOptions wopts;
+  wopts.fsync = false;
+  {
+    auto writer = EventLogWriter::Create(path, log, wopts);
+    ASSERT_TRUE(writer.ok());
+    for (std::size_t i = 0; i < 6; ++i) {
+      ASSERT_TRUE(writer.value()->Append(log.events[i]).ok());
+    }
+    ASSERT_TRUE(writer.value()->Close().ok());
+  }
+  // Tear: a record whose tail never hit the disk. "w 1.25 3" would even
+  // parse as a (wrong) prefix of a worker record if naively completed.
+  {
+    auto text = ReadFile(path);
+    ASSERT_TRUE(text.ok());
+    ASSERT_TRUE(WriteFile(path, text.value() + "w 1.25 3").ok());
+  }
+  WalRecovery recovery;
+  auto reopened = EventLogWriter::OpenForAppend(path, &recovery, wopts);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(recovery.truncated_bytes, 8);
+  EXPECT_EQ(recovery.log.num_events(), 6);
+  // The truncation is physical: appends land where the tear was removed.
+  ASSERT_TRUE(reopened.value()->Append(log.events[6]).ok());
+  ASSERT_TRUE(reopened.value()->Close().ok());
+  auto loaded = LoadEventLog(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_events(), 7);
+}
+
+// A corrupt *complete* line is not tearing — it must surface as IOError,
+// never be silently dropped.
+TEST(WalTest, CorruptDurablePrefixSurfaces) {
+  const io::EventLog log = SmallEventLog();
+  const std::string path = WalPath("corrupt");
+  WalOptions wopts;
+  wopts.fsync = false;
+  {
+    auto writer = EventLogWriter::Create(path, log, wopts);
+    ASSERT_TRUE(writer.ok());
+    for (std::size_t i = 0; i < 6; ++i) {
+      ASSERT_TRUE(writer.value()->Append(log.events[i]).ok());
+    }
+    ASSERT_TRUE(writer.value()->Close().ok());
+  }
+  auto text = ReadFile(path);
+  ASSERT_TRUE(text.ok());
+  std::string bad = text.value();
+  bad.replace(bad.rfind("\nw "), 3, "\nw x", 4);
+  ASSERT_TRUE(WriteFile(path, bad).ok());
+  WalRecovery recovery;
+  EXPECT_TRUE(EventLogWriter::OpenForAppend(path, &recovery, wopts)
+                  .status()
+                  .IsIOError());
+}
+
+TEST(WalTest, CrashDropsOnlyTheUnflushedWindow) {
+  const io::EventLog log = SmallEventLog();
+  const std::string path = WalPath("window");
+  WalOptions wopts;
+  wopts.group_commit = 4;
+  wopts.fsync = false;
+  {
+    auto writer = EventLogWriter::Create(path, log, wopts);
+    ASSERT_TRUE(writer.ok());
+    for (std::size_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE(writer.value()->Append(log.events[i]).ok());
+    }
+    // Crash: destroyed without Close — the buffered partial window (10
+    // appended, 8 flushed) must vanish, not half-land.
+  }
+  WalRecovery recovery;
+  auto reopened = EventLogWriter::OpenForAppend(path, &recovery, wopts);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(recovery.log.num_events(), 8);
+  EXPECT_EQ(recovery.truncated_bytes, 0);
+}
+
+TEST(WalTest, OpenForAppendOnMissingFileIsNotFound) {
+  WalRecovery recovery;
+  EXPECT_TRUE(
+      EventLogWriter::OpenForAppend("/tmp/no_such_ltc_wal.events", &recovery)
+          .status()
+          .IsNotFound());
+}
+
+TEST(EventRecordCodecTest, ParseIsInverseOfFormat) {
+  const io::EventLog log = SmallEventLog();
+  for (const Event& e : log.events) {
+    auto parsed = ParseEventRecord(FormatEventRecord(e));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(FormatEventRecord(parsed.value()), FormatEventRecord(e));
+  }
+  EXPECT_FALSE(ParseEventRecord("t 0 1").ok());       // missing field
+  EXPECT_FALSE(ParseEventRecord("w 0 1 2").ok());     // missing accuracy
+  EXPECT_FALSE(ParseEventRecord("m 0 zero 1 2").ok());  // non-numeric id
+  EXPECT_FALSE(ParseEventRecord("q 0 1 2").ok());     // unknown kind
+  EXPECT_FALSE(ParseEventRecord("").ok());
 }
 
 TEST(ArrangementIoTest, RejectsBadReferences) {

@@ -1,0 +1,486 @@
+// Crash-recovery tests for the durable service layer (DESIGN.md §11).
+//
+// The load-bearing property is determinism under restart: for a fixed
+// (header, StreamOptions) configuration, an interrupted-and-recovered
+// RecoverableService must emit an assignment log byte-identical to one
+// that lived through the whole stream. The suite pins it three ways:
+//   * a pure snapshot round-trip property (Serialize → Restore → continue
+//     equals never-snapshotting) for every online scheduler × shard count;
+//   * randomized crash points (destroying the service without Finish, the
+//     crash model of io/wal.h) across schedulers × shards, recovered runs
+//     compared byte-for-byte against golden uninterrupted runs;
+//   * explicit damage: torn WAL tails, corrupt and truncated snapshots, a
+//     snapshot claiming more events than the WAL holds, and injected
+//     wal/ingest faults (common/fault_points.h).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/fault_points.h"
+#include "gen/stream.h"
+#include "io/event_log.h"
+#include "io/wal.h"
+#include "io/workload_io.h"
+#include "svc/recoverable.h"
+#include "svc/serve_main.h"
+#include "svc/sharded_engine.h"
+
+namespace ltc {
+namespace svc {
+namespace {
+
+io::EventLog MakeLog(std::int64_t tasks, std::int64_t workers,
+                     std::uint64_t seed, double move_fraction = 0.0) {
+  gen::StreamConfig cfg;
+  cfg.num_tasks = tasks;
+  cfg.num_workers = workers;
+  cfg.move_fraction = move_fraction;
+  cfg.seed = seed;
+  auto log = gen::GenerateStreamEvents(cfg);
+  log.status().CheckOK();
+  return std::move(log).value();
+}
+
+StreamOptions BaseOptions(const std::string& algorithm, int shards) {
+  StreamOptions options;
+  options.algorithm = algorithm;
+  options.batch_deadline = 0.5;
+  options.shards = shards;
+  options.threads = 1;
+  options.seed = 7;
+  // Durable runs fix the world up front (svc/recoverable.h); moves make
+  // post-hoc validation inapplicable anyway (svc/stream_engine.h).
+  options.world = geo::Rect{0.0, 0.0, 1000.0, 1000.0};
+  options.validate = false;
+  return options;
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = "/tmp/ltc_recovery_test_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+RecoverableService::Options ServiceOptions(const std::string& state_dir,
+                                           const StreamOptions& stream,
+                                           std::int64_t snapshot_every,
+                                           std::int64_t group_commit) {
+  RecoverableService::Options o;
+  o.state_dir = state_dir;
+  o.stream = stream;
+  o.snapshot_every = snapshot_every;
+  o.wal.group_commit = group_commit;
+  o.wal.fsync = false;  // durability against power loss is not under test
+  return o;
+}
+
+/// The golden: one uninterrupted durable run over the whole log.
+std::string GoldenLog(const io::EventLog& log, const StreamOptions& options,
+                      const std::string& dir_name) {
+  auto service = RecoverableService::Open(
+      log, ServiceOptions(FreshDir(dir_name), options, 0, 64));
+  service.status().CheckOK();
+  for (const io::Event& e : log.events) {
+    service.value()->Ingest(e).CheckOK();
+  }
+  auto metrics = service.value()->Finish();
+  metrics.status().CheckOK();
+  return RenderAssignmentLog(options, service.value()->assignments(),
+                             metrics.value());
+}
+
+struct SchedulerPoint {
+  const char* algorithm;
+  int shards;
+};
+
+const SchedulerPoint kSchedulerMatrix[] = {
+    {"LAF", 1}, {"LAF", 4},    {"AAM", 1}, {"AAM", 4},
+    {"Random", 1}, {"Random", 4}, {"MCF", 1}, {"MCF", 4},
+};
+
+// Satellite 4: Serialize → Restore → continue is assignment-identical to
+// never snapshotting, for every online scheduler × shard count, at several
+// cut points — the pure-engine core of the recovery contract (no WAL, no
+// files, just the snapshot protocol).
+TEST(SnapshotRoundTripTest, ContinuationMatchesUninterrupted) {
+  const io::EventLog log = MakeLog(50, 1000, 11, /*move_fraction=*/0.15);
+  const std::int64_t n = log.num_events();
+  for (const SchedulerPoint& point : kSchedulerMatrix) {
+    const StreamOptions options = BaseOptions(point.algorithm, point.shards);
+
+    auto golden = ShardedStreamEngine::Create(log, options);
+    golden.status().CheckOK();
+    for (const io::Event& e : log.events) {
+      golden.value()->OnEvent(e).CheckOK();
+    }
+    auto golden_metrics = golden.value()->Finish();
+    golden_metrics.status().CheckOK();
+    const std::string golden_log = RenderAssignmentLog(
+        options, golden.value()->assignments(), golden_metrics.value());
+
+    for (const std::int64_t cut : {n / 4, n / 2, (3 * n) / 4, n - 1}) {
+      auto engine = ShardedStreamEngine::Create(log, options);
+      engine.status().CheckOK();
+      for (std::int64_t i = 0; i < cut; ++i) {
+        engine.value()->OnEvent(log.events[static_cast<std::size_t>(i)])
+            .CheckOK();
+      }
+      std::string state;
+      engine.value()->SerializeTo(&state).CheckOK();
+
+      auto restored = ShardedStreamEngine::Restore(log, options, state);
+      ASSERT_TRUE(restored.ok())
+          << point.algorithm << "@s" << point.shards << " cut " << cut
+          << ": " << restored.status().ToString();
+      // The snapshot bytes are themselves deterministic: re-serialising the
+      // restored engine reproduces them.
+      std::string state2;
+      restored.value()->SerializeTo(&state2).CheckOK();
+      EXPECT_EQ(state, state2)
+          << point.algorithm << "@s" << point.shards << " cut " << cut;
+
+      for (std::int64_t i = cut; i < n; ++i) {
+        restored.value()->OnEvent(log.events[static_cast<std::size_t>(i)])
+            .CheckOK();
+      }
+      auto metrics = restored.value()->Finish();
+      metrics.status().CheckOK();
+      const std::string continued = RenderAssignmentLog(
+          options, restored.value()->assignments(), metrics.value());
+      EXPECT_EQ(continued, golden_log)
+          << point.algorithm << "@s" << point.shards << " cut " << cut;
+    }
+  }
+}
+
+// The acceptance sweep: >= 50 randomized crash points across schedulers ×
+// shard counts. Each crash destroys the service mid-stream without Finish
+// (dropping the WAL's unflushed group-commit window); the reopened service
+// recovers, re-ingests the lost suffix from the source log, and must land
+// on the golden byte-identical assignment log.
+TEST(CrashRecoveryTest, RandomizedCrashPointsRecoverByteIdentical) {
+  const io::EventLog log = MakeLog(50, 1000, 23, /*move_fraction=*/0.1);
+  const std::int64_t n = log.num_events();
+  std::mt19937 rng(1234);
+  std::uniform_int_distribution<std::int64_t> pick(1, n - 1);
+
+  int crashes = 0;
+  for (const SchedulerPoint& point : kSchedulerMatrix) {
+    const StreamOptions options = BaseOptions(point.algorithm, point.shards);
+    const std::string tag =
+        std::string(point.algorithm) + "_s" + std::to_string(point.shards);
+    const std::string golden = GoldenLog(log, options, "golden_" + tag);
+
+    for (int rep = 0; rep < 7; ++rep) {
+      const std::int64_t crash_at = pick(rng);
+      const std::string dir =
+          FreshDir("crash_" + tag + "_" + std::to_string(rep));
+      // Snapshot and group-commit cadences deliberately small and co-prime,
+      // so crash points land in every phase of both windows.
+      const auto sopts = ServiceOptions(dir, options, 97, 16);
+      {
+        auto service = RecoverableService::Open(log, sopts);
+        service.status().CheckOK();
+        for (std::int64_t i = 0; i < crash_at; ++i) {
+          service.value()->Ingest(log.events[static_cast<std::size_t>(i)])
+              .CheckOK();
+        }
+        // Crash: no Finish, no Close — the destructor drops the unflushed
+        // WAL window (io/wal.h).
+      }
+      auto service = RecoverableService::Open(log, sopts);
+      ASSERT_TRUE(service.ok()) << tag << " crash@" << crash_at << ": "
+                                << service.status().ToString();
+      const RecoverableService::RecoveryInfo& r = service.value()->recovery();
+      EXPECT_TRUE(r.recovered);
+      EXPECT_LE(r.wal_records, crash_at);
+      EXPECT_EQ(service.value()->events_applied(), r.wal_records);
+      for (std::int64_t i = service.value()->events_applied(); i < n; ++i) {
+        service.value()->Ingest(log.events[static_cast<std::size_t>(i)])
+            .CheckOK();
+      }
+      auto metrics = service.value()->Finish();
+      metrics.status().CheckOK();
+      const std::string recovered_log = RenderAssignmentLog(
+          options, service.value()->assignments(), metrics.value());
+      EXPECT_EQ(recovered_log, golden) << tag << " crash@" << crash_at;
+      ++crashes;
+    }
+  }
+  EXPECT_GE(crashes, 50);
+}
+
+// A torn final WAL record (partial write at crash) is truncated on reopen;
+// the stream continues to the golden log.
+TEST(CrashRecoveryTest, TornWalTailIsTruncatedAndRecovered) {
+  const io::EventLog log = MakeLog(30, 600, 31);
+  const StreamOptions options = BaseOptions("LAF", 4);
+  const std::string golden = GoldenLog(log, options, "torn_golden");
+
+  const std::string dir = FreshDir("torn");
+  const auto sopts = ServiceOptions(dir, options, 0, 8);
+  const std::int64_t crash_at = log.num_events() / 2;
+  {
+    auto service = RecoverableService::Open(log, sopts);
+    service.status().CheckOK();
+    for (std::int64_t i = 0; i < crash_at; ++i) {
+      service.value()->Ingest(log.events[static_cast<std::size_t>(i)])
+          .CheckOK();
+    }
+  }
+  // Tear the tail: a record that lost the race with the crash.
+  auto wal_text = io::ReadFile(dir + "/wal.events");
+  wal_text.status().CheckOK();
+  io::WriteFile(dir + "/wal.events", wal_text.value() + "w 3.25 41")
+      .CheckOK();
+
+  auto service = RecoverableService::Open(log, sopts);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  EXPECT_EQ(service.value()->recovery().wal_truncated_bytes, 9);
+  for (std::int64_t i = service.value()->events_applied();
+       i < log.num_events(); ++i) {
+    service.value()->Ingest(log.events[static_cast<std::size_t>(i)])
+        .CheckOK();
+  }
+  auto metrics = service.value()->Finish();
+  metrics.status().CheckOK();
+  EXPECT_EQ(RenderAssignmentLog(options, service.value()->assignments(),
+                                metrics.value()),
+            golden);
+}
+
+/// Crashes a durable run at `crash_at`, lets `damage` vandalise the state
+/// dir, then recovers, finishes the stream, and returns (recovery info,
+/// final log).
+template <typename DamageFn>
+std::string DamagedRecoveryLog(const io::EventLog& log,
+                               const StreamOptions& options,
+                               const std::string& dir, DamageFn damage,
+                               RecoverableService::RecoveryInfo* info) {
+  const auto sopts = ServiceOptions(dir, options, 50, 8);
+  {
+    auto service = RecoverableService::Open(log, sopts);
+    service.status().CheckOK();
+    for (std::int64_t i = 0; i < (2 * log.num_events()) / 3; ++i) {
+      service.value()->Ingest(log.events[static_cast<std::size_t>(i)])
+          .CheckOK();
+    }
+  }
+  damage(dir + "/snapshots");
+  auto service = RecoverableService::Open(log, sopts);
+  service.status().CheckOK();
+  *info = service.value()->recovery();
+  for (std::int64_t i = service.value()->events_applied();
+       i < log.num_events(); ++i) {
+    service.value()->Ingest(log.events[static_cast<std::size_t>(i)])
+        .CheckOK();
+  }
+  auto metrics = service.value()->Finish();
+  metrics.status().CheckOK();
+  return RenderAssignmentLog(options, service.value()->assignments(),
+                             metrics.value());
+}
+
+std::string NewestSnapshot(const std::string& snap_dir) {
+  std::string newest;
+  for (const auto& entry : std::filesystem::directory_iterator(snap_dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("snap-", 0) != 0) continue;
+    if (newest.empty() || name > newest) newest = name;
+  }
+  EXPECT_FALSE(newest.empty());
+  return snap_dir + "/" + newest;
+}
+
+// A corrupt newest snapshot (CRC mismatch) is discarded; recovery falls
+// back to an older snapshot or full WAL replay and still reaches golden.
+TEST(CrashRecoveryTest, CorruptSnapshotIsDiscarded) {
+  const io::EventLog log = MakeLog(30, 600, 37);
+  const StreamOptions options = BaseOptions("AAM", 4);
+  const std::string golden = GoldenLog(log, options, "corrupt_golden");
+
+  RecoverableService::RecoveryInfo info;
+  const std::string recovered = DamagedRecoveryLog(
+      log, options, FreshDir("corrupt"),
+      [](const std::string& snap_dir) {
+        const std::string path = NewestSnapshot(snap_dir);
+        auto text = io::ReadFile(path);
+        text.status().CheckOK();
+        std::string bytes = text.value();
+        bytes[bytes.size() / 2] ^= 0x20;  // flip a bit mid-state
+        io::WriteFile(path, bytes).CheckOK();
+      },
+      &info);
+  EXPECT_GE(info.snapshots_discarded, 1);
+  EXPECT_EQ(recovered, golden);
+}
+
+// A truncated snapshot (crash mid-write that somehow survived the atomic
+// rename discipline) is likewise discarded.
+TEST(CrashRecoveryTest, TruncatedSnapshotIsDiscarded) {
+  const io::EventLog log = MakeLog(30, 600, 41);
+  const StreamOptions options = BaseOptions("Random", 1);
+  const std::string golden = GoldenLog(log, options, "truncsnap_golden");
+
+  RecoverableService::RecoveryInfo info;
+  const std::string recovered = DamagedRecoveryLog(
+      log, options, FreshDir("truncsnap"),
+      [](const std::string& snap_dir) {
+        const std::string path = NewestSnapshot(snap_dir);
+        auto text = io::ReadFile(path);
+        text.status().CheckOK();
+        io::WriteFile(path, text.value().substr(0, text.value().size() / 2))
+            .CheckOK();
+      },
+      &info);
+  EXPECT_GE(info.snapshots_discarded, 1);
+  EXPECT_EQ(recovered, golden);
+}
+
+// A snapshot that claims more events than the WAL durably holds (here:
+// the WAL lost records after the snapshot landed) must not be trusted —
+// recovery discards it rather than continuing from a future the WAL
+// cannot replay.
+TEST(CrashRecoveryTest, SnapshotAheadOfWalIsDiscarded) {
+  const io::EventLog log = MakeLog(30, 600, 43);
+  const StreamOptions options = BaseOptions("LAF", 1);
+  const std::string dir = FreshDir("ahead");
+  const auto sopts = ServiceOptions(dir, options, 0, 8);
+  const std::int64_t ingested = log.num_events() / 2;
+  {
+    auto service = RecoverableService::Open(log, sopts);
+    service.status().CheckOK();
+    for (std::int64_t i = 0; i < ingested; ++i) {
+      service.value()->Ingest(log.events[static_cast<std::size_t>(i)])
+          .CheckOK();
+    }
+    // Checkpoint at `ingested`, then chop whole records off the WAL tail.
+    service.value()->Checkpoint().CheckOK();
+  }
+  auto wal_text = io::ReadFile(dir + "/wal.events");
+  wal_text.status().CheckOK();
+  std::string chopped = wal_text.value();
+  chopped.pop_back();  // drop the trailing '\n' so each rfind removes a record
+  for (int i = 0; i < 5; ++i) {
+    chopped.resize(chopped.rfind('\n'));
+  }
+  chopped += '\n';
+  io::WriteFile(dir + "/wal.events", chopped).CheckOK();
+
+  auto service = RecoverableService::Open(log, sopts);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  const RecoverableService::RecoveryInfo& r = service.value()->recovery();
+  EXPECT_GE(r.snapshots_discarded, 1);
+  EXPECT_EQ(service.value()->events_applied(), ingested - 5);
+  EXPECT_EQ(r.snapshot_events, 0);  // full WAL replay
+}
+
+// Armed fault points turn WAL and ingest sites into surfaced IOErrors
+// instead of silent corruption.
+TEST(FaultInjectionTest, WalAndIngestFaultsSurface) {
+  const io::EventLog log = MakeLog(10, 100, 47);
+  const StreamOptions options = BaseOptions("LAF", 1);
+
+  FaultPoints::Instance().Reset();
+  FaultPoints::Instance().Arm("wal.append", 3, "fail");
+  {
+    auto service = RecoverableService::Open(
+        log, ServiceOptions(FreshDir("fault_append"), options, 0, 1));
+    service.status().CheckOK();
+    Status status = Status::OK();
+    std::int64_t applied_before_failure = 0;
+    for (const io::Event& e : log.events) {
+      status = service.value()->Ingest(e);
+      if (!status.ok()) break;
+      ++applied_before_failure;
+    }
+    EXPECT_TRUE(status.IsIOError()) << status.ToString();
+    EXPECT_NE(status.ToString().find("injected"), std::string::npos);
+    EXPECT_EQ(applied_before_failure, 2);
+    // WAL-first ordering: the failed event never reached the engine.
+    EXPECT_EQ(service.value()->events_applied(), 2);
+  }
+
+  FaultPoints::Instance().Reset();
+  FaultPoints::Instance().Arm("svc.ingest", 2, "fail");
+  {
+    auto service = RecoverableService::Open(
+        log, ServiceOptions(FreshDir("fault_ingest"), options, 0, 1));
+    service.status().CheckOK();
+    EXPECT_TRUE(service.value()->Ingest(log.events[0]).ok());
+    const Status status = service.value()->Ingest(log.events[1]);
+    EXPECT_FALSE(status.ok());
+    EXPECT_NE(status.ToString().find("injected"), std::string::npos);
+  }
+  FaultPoints::Instance().Reset();
+}
+
+// The fsync fault point, exercised with fsync actually enabled.
+TEST(FaultInjectionTest, FsyncFaultSurfacesWhenFsyncEnabled) {
+  const io::EventLog log = MakeLog(10, 100, 53);
+  const StreamOptions options = BaseOptions("LAF", 1);
+  RecoverableService::Options sopts =
+      ServiceOptions(FreshDir("fault_fsync_on"), options, 0, 1);
+  sopts.wal.fsync = true;
+
+  FaultPoints::Instance().Reset();
+  auto service = RecoverableService::Open(log, sopts);
+  service.status().CheckOK();
+  // Arm after Open: Create durably fsyncs the WAL header, which would
+  // otherwise consume the countdown before the first ingest.
+  FaultPoints::Instance().Arm("wal.fsync", 1, "fail");
+  const Status status = service.value()->Ingest(log.events[0]);
+  EXPECT_TRUE(status.IsIOError()) << status.ToString();
+  EXPECT_NE(status.ToString().find("injected"), std::string::npos);
+  FaultPoints::Instance().Reset();
+}
+
+// RunDurableService end to end: fresh run, then a re-run over the same
+// state dir (full recovery, zero re-ingest) must reproduce the log.
+TEST(DurableServeTest, RerunOverRecoveredStateIsIdentical) {
+  const io::EventLog log = MakeLog(20, 400, 59);
+  const StreamOptions options = BaseOptions("MCF", 4);
+  DurableConfig dcfg;
+  dcfg.state_dir = FreshDir("durable_rerun");
+  dcfg.snapshot_every = 100;
+  dcfg.wal.fsync = false;
+
+  auto first = RunDurableService(log, options, dcfg);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first.value().recovery.recovered);
+
+  auto second = RunDurableService(log, options, dcfg);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(second.value().recovery.recovered);
+  EXPECT_EQ(second.value().recovery.replayed, 0);
+  EXPECT_EQ(second.value().assignment_log, first.value().assignment_log);
+}
+
+// Restoring into a different topology is refused loudly instead of
+// silently rerouting the stream.
+TEST(DurableServeTest, TopologyMismatchIsRejected) {
+  const io::EventLog log = MakeLog(10, 100, 61);
+  const StreamOptions options = BaseOptions("LAF", 2);
+  auto engine = ShardedStreamEngine::Create(log, options);
+  engine.status().CheckOK();
+  for (const io::Event& e : log.events) {
+    engine.value()->OnEvent(e).CheckOK();
+  }
+  std::string state;
+  engine.value()->SerializeTo(&state).CheckOK();
+
+  StreamOptions other = options;
+  other.shards = 3;
+  const auto restored = ShardedStreamEngine::Restore(log, other, state);
+  EXPECT_FALSE(restored.ok());
+  EXPECT_NE(restored.status().ToString().find("topology"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace svc
+}  // namespace ltc
