@@ -20,15 +20,20 @@
 // CI's bench-smoke job against it.
 
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/flags.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "exp/sweep.h"
+#include "gen/road.h"
 #include "gen/stream.h"
+#include "geo/road_graph.h"
 #include "io/workload_io.h"
+#include "model/accuracy.h"
 #include "svc/stream_engine.h"
 
 namespace ltc {
@@ -50,6 +55,12 @@ Flag<std::string> FLAG_json("json", "",
 Flag<std::string> FLAG_cases("cases", "",
                              "comma-separated scale labels to run (all when "
                              "empty)");
+Flag<std::string> FLAG_metric(
+    "metric", "euclid",
+    "distance backend: 'euclid' (classic) or 'road' (rebinds the accuracy "
+    "model onto a RoadMetric over a synthesized street grid; the JSON "
+    "figure becomes stream_throughput_road so road baselines gate "
+    "separately)");
 
 struct StreamCase {
   std::string label;
@@ -71,7 +82,8 @@ struct CellResult {
 };
 
 StatusOr<CellResult> RunCell(const StreamCase& scale, std::int64_t shards,
-                             const std::string& algorithm) {
+                             const std::string& algorithm,
+                             const std::shared_ptr<const geo::Metric>& metric) {
   CellResult cell;
   cell.name = algorithm;
   const std::int64_t reps = FLAG_reps.Get();
@@ -83,6 +95,10 @@ StatusOr<CellResult> RunCell(const StreamCase& scale, std::int64_t shards,
     cfg.num_workers = scale.num_workers;
     cfg.seed = exp::RepSeed(static_cast<std::uint64_t>(FLAG_seed.Get()), rep);
     LTC_ASSIGN_OR_RETURN(io::EventLog log, gen::GenerateStreamEvents(cfg));
+    if (metric != nullptr) {
+      LTC_ASSIGN_OR_RETURN(log.accuracy,
+                           model::RebindMetric(*log.accuracy, metric));
+    }
 
     svc::StreamOptions options;
     options.algorithm = algorithm;
@@ -152,6 +168,31 @@ int Main(int argc, char** argv) {
     }
   }
 
+  // --metric=road: one street grid shared by every cell, matching the
+  // stream generator's world side. Travel time >= Euclidean distance, so
+  // eligibility shrinks and the per-gather Dijkstra cost shows up in
+  // events/sec — which is exactly what BENCH_PR8.json gates.
+  std::shared_ptr<const geo::Metric> metric;
+  if (FLAG_metric.Get() == "road") {
+    gen::RoadConfig road;
+    // Dense enough that snap legs (≈ half the ~10.5-unit spacing) stay
+    // small against dmax = 30; at the default 32x32 the spacing alone
+    // exceeds the accuracy range and eligibility collapses.
+    road.rows = 96;
+    road.cols = 96;
+    auto built = gen::GenerateGridRoadGraph(road);
+    if (!built.ok()) {
+      std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+      return 1;
+    }
+    metric = std::make_shared<geo::RoadMetric>(
+        std::make_shared<geo::RoadGraph>(std::move(built).value()));
+  } else if (FLAG_metric.Get() != "euclid") {
+    std::fprintf(stderr, "unknown --metric '%s' (euclid|road)\n",
+                 FLAG_metric.Get().c_str());
+    return 1;
+  }
+
   std::vector<std::int64_t> shard_counts;
   for (const std::string& part : Split(FLAG_shards.Get(), ',')) {
     std::int64_t k = 0;
@@ -163,11 +204,13 @@ int Main(int argc, char** argv) {
   }
 
   Stopwatch total;
+  const std::string figure = metric != nullptr ? "stream_throughput_road"
+                                               : "stream_throughput";
   std::string json = StrFormat(
-      "{\n  \"figure\": \"stream_throughput\",\n  \"factor\": \"events\",\n"
+      "{\n  \"figure\": \"%s\",\n  \"factor\": \"events\",\n"
       "  \"paper_scale\": false,\n  \"reps\": %lld,\n  \"seed\": %lld,\n"
       "  \"cases\": [\n",
-      static_cast<long long>(FLAG_reps.Get()),
+      figure.c_str(), static_cast<long long>(FLAG_reps.Get()),
       static_cast<long long>(FLAG_seed.Get()));
   struct CasePoint {
     StreamCase scale;
@@ -196,7 +239,7 @@ int Main(int argc, char** argv) {
     first_case = false;
     bool first_algo = true;
     for (const std::string& algorithm : algorithms) {
-      auto cell = RunCell(scale, shards, algorithm);
+      auto cell = RunCell(scale, shards, algorithm, metric);
       if (!cell.ok()) {
         std::fprintf(stderr, "%s\n", cell.status().ToString().c_str());
         return 1;

@@ -9,6 +9,8 @@
 #include "common/table.h"
 #include "exp/extensions.h"
 #include "gen/foursquare.h"
+#include "gen/road.h"
+#include "geo/road_graph.h"
 #include "model/accuracy.h"
 #include "sim/presets.h"
 
@@ -311,6 +313,48 @@ Suite MakeAblationDmax(bool paper_scale) {
   return suite;
 }
 
+/// The full scheduler roster under road-network travel times: each case
+/// rebinds the instance's accuracy model onto a RoadMetric over a street
+/// grid at one congestion level ("0.00" = free flow, the Euclidean-like
+/// floor). One graph per case, shared across seeds and algorithm cells —
+/// the road network is infrastructure; RoadMetric's thread-local Dijkstra
+/// workspaces keep the concurrent cells safe (geo/road_graph.h).
+Suite MakeRoadSuite(bool paper_scale) {
+  Suite suite{"road", "congestion", {}, StandardRoster()};
+  for (double congestion : {0.0, 0.5, 1.0}) {
+    gen::RoadConfig road;
+    road.congestion = congestion;
+    road.world_side = BaseSyntheticConfig(paper_scale).grid_side;
+    auto built = gen::GenerateGridRoadGraph(road);
+    if (!built.ok()) {
+      // Surfaced per-seed so the sweep reports the real status.
+      const Status status = built.status();
+      suite.cases.push_back(SuiteCase{
+          StrFormat("%.2f", congestion),
+          [status](std::uint64_t) -> StatusOr<model::ProblemInstance> {
+            return status;
+          }});
+      continue;
+    }
+    auto metric = std::make_shared<geo::RoadMetric>(
+        std::make_shared<geo::RoadGraph>(std::move(built).value()));
+    suite.cases.push_back(SuiteCase{
+        StrFormat("%.2f", congestion),
+        [metric, paper_scale](std::uint64_t seed)
+            -> StatusOr<model::ProblemInstance> {
+          gen::SyntheticConfig cfg = AblationBaseConfig(paper_scale);
+          cfg.seed = seed;
+          LTC_ASSIGN_OR_RETURN(model::ProblemInstance instance,
+                               gen::GenerateSynthetic(cfg));
+          LTC_ASSIGN_OR_RETURN(
+              instance.accuracy,
+              model::RebindMetric(*instance.accuracy, metric));
+          return instance;
+        }});
+  }
+  return suite;
+}
+
 std::vector<SuiteDef> BuildRegistry() {
   std::vector<SuiteDef> defs;
   defs.push_back({"fig3_tasks", "3a/3e/3i",
@@ -364,6 +408,10 @@ std::vector<SuiteDef> BuildRegistry() {
                   MakeAblationAamStrategy, nullptr});
   defs.push_back({"ablation_dmax", "", "dmax sensitivity", MakeAblationDmax,
                   nullptr});
+  defs.push_back({"road", "",
+                  "the full roster under road-network travel times "
+                  "(congestion sweep)",
+                  MakeRoadSuite, nullptr});
   defs.push_back({"lower_bound", "", "gap to the Theorem-2 lower bound",
                   nullptr, RunLowerBoundSuite});
   defs.push_back({"error_rate", "",

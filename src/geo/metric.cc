@@ -1,0 +1,23 @@
+#include "geo/metric.h"
+
+namespace ltc {
+namespace geo {
+
+void Metric::EligibleWithin(
+    const GridIndex& grid, const Point& origin, double radius,
+    const std::function<void(std::int64_t)>& visit) const {
+  // The grid query is a Euclidean superset of the metric ball (metric.h
+  // contract); the exact-metric filter trims it down.
+  grid.ForEachInRadius(origin, radius, [&](std::int64_t id) {
+    if (Distance(origin, grid.point(id)) <= radius) visit(id);
+  });
+}
+
+const std::shared_ptr<const Metric>& EuclideanMetricSingleton() {
+  static const std::shared_ptr<const Metric> kEuclidean =
+      std::make_shared<EuclideanMetric>();
+  return kEuclidean;
+}
+
+}  // namespace geo
+}  // namespace ltc

@@ -1,0 +1,317 @@
+#include "geo/road_graph.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace ltc {
+namespace geo {
+namespace {
+
+std::uint64_t NextGraphId() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Weight >= Euclidean length, with a hair of slack for parse/print
+// round-trip rounding.
+constexpr double kWeightSlack = 1e-9;
+
+}  // namespace
+
+StatusOr<RoadGraph> RoadGraph::Build(std::vector<Point> nodes,
+                                     const std::vector<Edge>& edges,
+                                     const Options& options) {
+  if (nodes.empty()) {
+    return Status::InvalidArgument("road graph needs at least one node");
+  }
+  const auto n = static_cast<std::int32_t>(nodes.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const Edge& e = edges[i];
+    if (e.u < 0 || e.u >= n || e.v < 0 || e.v >= n) {
+      return Status::InvalidArgument("road edge " + std::to_string(i) +
+                                     " endpoint out of range");
+    }
+    if (e.u == e.v) {
+      return Status::InvalidArgument("road edge " + std::to_string(i) +
+                                     " is a self loop");
+    }
+    if (!(e.weight > 0.0) || !std::isfinite(e.weight)) {
+      return Status::InvalidArgument("road edge " + std::to_string(i) +
+                                     " has non-positive weight");
+    }
+    const double length =
+        Distance(nodes[static_cast<std::size_t>(e.u)],
+                 nodes[static_cast<std::size_t>(e.v)]);
+    if (e.weight + kWeightSlack < length) {
+      return Status::InvalidArgument(
+          "road edge " + std::to_string(i) +
+          " weight below its Euclidean length (metric contract)");
+    }
+  }
+
+  RoadGraph g;
+  g.id_ = NextGraphId();
+  g.nodes_ = std::move(nodes);
+  g.edges_ = edges;
+
+  // Two-pass CSR, both directions (the flow layer's builder idiom).
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const Edge& e : edges) {
+    ++g.offsets_[static_cast<std::size_t>(e.u) + 1];
+    ++g.offsets_[static_cast<std::size_t>(e.v) + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  g.targets_.resize(static_cast<std::size_t>(g.offsets_.back()));
+  g.weights_.resize(g.targets_.size());
+  std::vector<std::int64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    auto place = [&](std::int32_t from, std::int32_t to) {
+      const auto slot =
+          static_cast<std::size_t>(cursor[static_cast<std::size_t>(from)]++);
+      g.targets_[slot] = to;
+      g.weights_[slot] = e.weight;
+    };
+    place(e.u, e.v);
+    place(e.v, e.u);
+  }
+
+  // Snap index: a static grid sized so an average cell holds ~1 node.
+  double min_x = g.nodes_[0].x, max_x = g.nodes_[0].x;
+  double min_y = g.nodes_[0].y, max_y = g.nodes_[0].y;
+  for (const Point& p : g.nodes_) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  const double extent = std::max(max_x - min_x, max_y - min_y);
+  const double side =
+      std::max(1.0, std::floor(std::sqrt(static_cast<double>(n))));
+  const double cell = std::max(extent / side, 1.0);
+  LTC_ASSIGN_OR_RETURN(auto snap, GridIndex::Build(g.nodes_, cell));
+  g.snap_index_.emplace(std::move(snap));
+
+  g.BuildLandmarks(options.num_landmarks);
+  return g;
+}
+
+void RoadGraph::BuildLandmarks(int requested) {
+  const int n = num_nodes();
+  const int count = std::max(0, std::min(requested, n));
+  landmark_nodes_.clear();
+  landmark_dist_.clear();
+  if (count == 0) return;
+  landmark_dist_.reserve(static_cast<std::size_t>(count) *
+                         static_cast<std::size_t>(n));
+  // Farthest-point selection seeded at node 0. min_dist tracks each node's
+  // distance to the chosen set; unreachable (other-component) nodes rank as
+  // farthest, so every component receives landmarks before any is doubled
+  // up. Ties prefer the smaller id — deterministic.
+  std::vector<double> min_dist(static_cast<std::size_t>(n), kUnreachable);
+  Workspace ws;
+  std::int32_t next = 0;
+  for (int l = 0; l < count; ++l) {
+    landmark_nodes_.push_back(next);
+    ws.source = -1;  // force a solve even for a repeated seed
+    ShortestPaths(next, &ws);
+    landmark_dist_.insert(landmark_dist_.end(), ws.dist.begin(),
+                          ws.dist.end());
+    std::int32_t farthest = 0;
+    double best = -1.0;
+    for (std::int32_t v = 0; v < n; ++v) {
+      auto& m = min_dist[static_cast<std::size_t>(v)];
+      m = std::min(m, ws.dist[static_cast<std::size_t>(v)]);
+      const double score = std::isfinite(m) ? m : kUnreachable;
+      if (score > best) {
+        best = score;
+        farthest = v;
+      }
+    }
+    next = farthest;
+  }
+}
+
+std::int32_t RoadGraph::Snap(const Point& p) const {
+  return static_cast<std::int32_t>(snap_index_->Nearest(p));
+}
+
+void RoadGraph::ShortestPaths(std::int32_t source, Workspace* ws) const {
+  if (ws->graph_id == id_ && ws->source == source) return;
+  const auto n = static_cast<std::size_t>(num_nodes());
+  ws->graph_id = id_;
+  ws->source = source;
+  ws->dist.assign(n, kUnreachable);
+  ws->dist[static_cast<std::size_t>(source)] = 0.0;
+  IndexedMinHeap<double> heap(n);
+  heap.PushOrDecrease(source, 0.0);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.PopMin();
+    if (d > ws->dist[static_cast<std::size_t>(u)]) continue;
+    const auto begin = static_cast<std::size_t>(
+        offsets_[static_cast<std::size_t>(u)]);
+    const auto end = static_cast<std::size_t>(
+        offsets_[static_cast<std::size_t>(u) + 1]);
+    for (std::size_t k = begin; k < end; ++k) {
+      const std::int32_t v = targets_[k];
+      const double nd = d + weights_[k];
+      if (nd < ws->dist[static_cast<std::size_t>(v)]) {
+        ws->dist[static_cast<std::size_t>(v)] = nd;
+        heap.PushOrDecrease(v, nd);
+      }
+    }
+  }
+}
+
+double RoadGraph::LandmarkLowerBound(std::int32_t u, std::int32_t v) const {
+  const auto n = static_cast<std::size_t>(num_nodes());
+  double best = 0.0;
+  for (std::size_t l = 0; l < landmark_nodes_.size(); ++l) {
+    const double du = landmark_dist_[l * n + static_cast<std::size_t>(u)];
+    const double dv = landmark_dist_[l * n + static_cast<std::size_t>(v)];
+    if (!std::isfinite(du) || !std::isfinite(dv)) continue;
+    best = std::max(best, std::abs(du - dv));
+  }
+  return best;
+}
+
+std::string RoadGraph::Serialize() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << "# ltc-road v1\n";
+  out << "nodes " << num_nodes() << "\n";
+  for (const Point& p : nodes_) {
+    out << p.x << " " << p.y << "\n";
+  }
+  out << "edges " << edges_.size() << "\n";
+  for (const Edge& e : edges_) {
+    out << e.u << " " << e.v << " " << e.weight << "\n";
+  }
+  return out.str();
+}
+
+Status RoadGraph::Save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << Serialize();
+  out.flush();
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+StatusOr<RoadGraph> RoadGraph::Parse(const std::string& text,
+                                     const Options& options) {
+  std::istringstream in(text);
+  std::string token;
+  auto next_token = [&](std::string* out) -> bool {
+    while (in >> *out) {
+      if ((*out)[0] == '#') {
+        std::string rest;
+        std::getline(in, rest);  // comment runs to end of line
+        continue;
+      }
+      return true;
+    }
+    return false;
+  };
+  auto expect_keyword = [&](const char* want) -> Status {
+    if (!next_token(&token) || token != want) {
+      return Status::InvalidArgument(std::string("ltc-road: expected '") +
+                                     want + "'");
+    }
+    return Status::OK();
+  };
+  auto next_int = [&](std::int64_t* out) -> bool {
+    return next_token(&token) && ParseInt64(token, out);
+  };
+  auto next_double = [&](double* out) -> bool {
+    return next_token(&token) && ParseDouble(token, out);
+  };
+
+  LTC_RETURN_IF_ERROR(expect_keyword("nodes"));
+  std::int64_t n = 0;
+  if (!next_int(&n) || n <= 0) {
+    return Status::InvalidArgument("ltc-road: bad node count");
+  }
+  std::vector<Point> nodes;
+  nodes.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    Point p;
+    if (!next_double(&p.x) || !next_double(&p.y)) {
+      return Status::InvalidArgument("ltc-road: bad or truncated node list");
+    }
+    nodes.push_back(p);
+  }
+
+  LTC_RETURN_IF_ERROR(expect_keyword("edges"));
+  std::int64_t m = 0;
+  if (!next_int(&m) || m < 0) {
+    return Status::InvalidArgument("ltc-road: bad edge count");
+  }
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  for (std::int64_t i = 0; i < m; ++i) {
+    Edge e;
+    std::int64_t u = 0, v = 0;
+    if (!next_int(&u) || !next_int(&v) || !next_double(&e.weight)) {
+      return Status::InvalidArgument("ltc-road: bad or truncated edge list");
+    }
+    e.u = static_cast<std::int32_t>(u);
+    e.v = static_cast<std::int32_t>(v);
+    edges.push_back(e);
+  }
+  if (next_token(&token)) {
+    return Status::InvalidArgument("ltc-road: trailing content '" + token +
+                                   "'");
+  }
+  return Build(std::move(nodes), edges, options);
+}
+
+StatusOr<RoadGraph> RoadGraph::Load(const std::string& path,
+                                    const Options& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open road graph " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Parse(buf.str(), options);
+}
+
+double RoadMetric::Distance(const Point& a, const Point& b) const {
+  const std::int32_t u = graph_->Snap(a);
+  const std::int32_t v = graph_->Snap(b);
+  const double approach = geo::Distance(a, graph_->node(u));
+  const double depart = geo::Distance(graph_->node(v), b);
+  if (u == v) return approach + depart;
+  return approach + graph_->NodeDistance(u, v, &LocalWorkspace()) + depart;
+}
+
+double RoadMetric::LowerBound(const Point& a, const Point& b) const {
+  const std::int32_t u = graph_->Snap(a);
+  const std::int32_t v = graph_->Snap(b);
+  const double legs =
+      geo::Distance(a, graph_->node(u)) + geo::Distance(graph_->node(v), b);
+  const double alt = u == v ? 0.0 : graph_->LandmarkLowerBound(u, v);
+  return std::max(geo::Distance(a, b), legs + alt);
+}
+
+std::string RoadMetric::Name() const {
+  return "road(nodes=" + std::to_string(graph_->num_nodes()) +
+         ",edges=" + std::to_string(graph_->num_edges()) + ")";
+}
+
+RoadGraph::Workspace& RoadMetric::LocalWorkspace() const {
+  // One workspace per thread, shared across RoadMetric instances; the
+  // graph-id key inside ShortestPaths invalidates it when graphs alternate.
+  thread_local RoadGraph::Workspace ws;
+  return ws;
+}
+
+}  // namespace geo
+}  // namespace ltc

@@ -8,10 +8,14 @@
 namespace ltc {
 namespace model {
 
-SigmoidDistanceAccuracy::SigmoidDistanceAccuracy(double dmax) : dmax_(dmax) {}
+SigmoidDistanceAccuracy::SigmoidDistanceAccuracy(
+    double dmax, std::shared_ptr<const geo::Metric> metric)
+    : dmax_(dmax),
+      metric_(metric == nullptr ? geo::EuclideanMetricSingleton()
+                                : std::move(metric)) {}
 
 double SigmoidDistanceAccuracy::Acc(const Worker& w, const Task& t) const {
-  const double d = geo::Distance(w.location, t.location);
+  const double d = metric_->Distance(w.location, t.location);
   return w.historical_accuracy * Sigmoid(dmax_ - d);
 }
 
@@ -72,10 +76,14 @@ std::string MatrixAccuracy::Name() const {
                    matrix_.empty() ? 0 : matrix_[0].size());
 }
 
-StepDistanceAccuracy::StepDistanceAccuracy(double dmax) : dmax_(dmax) {}
+StepDistanceAccuracy::StepDistanceAccuracy(
+    double dmax, std::shared_ptr<const geo::Metric> metric)
+    : dmax_(dmax),
+      metric_(metric == nullptr ? geo::EuclideanMetricSingleton()
+                                : std::move(metric)) {}
 
 double StepDistanceAccuracy::Acc(const Worker& w, const Task& t) const {
-  const double d = geo::Distance(w.location, t.location);
+  const double d = metric_->Distance(w.location, t.location);
   return d <= dmax_ ? w.historical_accuracy : 0.0;
 }
 
@@ -95,6 +103,23 @@ double FlatAccuracy::Acc(const Worker& w, const Task& t) const {
 }
 
 std::string FlatAccuracy::Name() const { return "flat"; }
+
+StatusOr<std::shared_ptr<const AccuracyFunction>> RebindMetric(
+    const AccuracyFunction& fn, std::shared_ptr<const geo::Metric> metric) {
+  if (const auto* sigmoid =
+          dynamic_cast<const SigmoidDistanceAccuracy*>(&fn)) {
+    return std::shared_ptr<const AccuracyFunction>(
+        std::make_shared<SigmoidDistanceAccuracy>(sigmoid->dmax(),
+                                                  std::move(metric)));
+  }
+  if (const auto* step = dynamic_cast<const StepDistanceAccuracy*>(&fn)) {
+    return std::shared_ptr<const AccuracyFunction>(
+        std::make_shared<StepDistanceAccuracy>(step->dmax(),
+                                               std::move(metric)));
+  }
+  return Status::InvalidArgument("accuracy model '" + fn.Name() +
+                                 "' has no distance structure to rebind");
+}
 
 }  // namespace model
 }  // namespace ltc

@@ -19,6 +19,7 @@
 
 #include "common/math_util.h"
 #include "common/status.h"
+#include "geo/metric.h"
 #include "model/task.h"
 #include "model/worker.h"
 
@@ -45,6 +46,10 @@ class AccuracyFunction {
   /// worker can still reach `acc_min` predicted accuracy. Enables spatial
   /// pruning of eligibility queries. nullopt = no distance structure (the
   /// eligibility index falls back to a full scan).
+  ///
+  /// The radius is in *metric* units (DistanceMetric()); under any
+  /// conforming metric it also bounds the Euclidean displacement
+  /// (geo/metric.h contract), which is what keeps grid pruning valid.
   virtual std::optional<double> EligibleRadius(const Worker& w,
                                                double acc_min) const {
     (void)w;
@@ -52,7 +57,17 @@ class AccuracyFunction {
     return std::nullopt;
   }
 
-  /// Human-readable name for logs and bench output.
+  /// The distance backend this model attenuates over. Consumers
+  /// (EligibilityIndex, the streaming gather) route their radius queries
+  /// through it; the default is the shared Euclidean metric, which every
+  /// non-spatial model keeps.
+  virtual const std::shared_ptr<const geo::Metric>& DistanceMetric() const {
+    return geo::EuclideanMetricSingleton();
+  }
+
+  /// Human-readable name for logs and bench output. Names the *model*
+  /// (and so stays byte-stable across metric backends); the backend is
+  /// reported separately via DistanceMetric()->Name().
   virtual std::string Name() const = 0;
 };
 
@@ -62,18 +77,25 @@ class SigmoidDistanceAccuracy : public AccuracyFunction {
  public:
   /// dmax: the largest distance at which workers perform tasks with high
   /// accuracy (paper default: 30 grid units = 300 m, from the Foursquare
-  /// region-preference study [17]).
-  explicit SigmoidDistanceAccuracy(double dmax);
+  /// region-preference study [17]). `metric` selects the distance backend;
+  /// null (the default) means Euclidean and reproduces the pre-Metric
+  /// arithmetic bit for bit.
+  explicit SigmoidDistanceAccuracy(
+      double dmax, std::shared_ptr<const geo::Metric> metric = nullptr);
 
   double Acc(const Worker& w, const Task& t) const override;
   std::optional<double> EligibleRadius(const Worker& w,
                                        double acc_min) const override;
+  const std::shared_ptr<const geo::Metric>& DistanceMetric() const override {
+    return metric_;
+  }
   std::string Name() const override;
 
   double dmax() const { return dmax_; }
 
  private:
   double dmax_;
+  std::shared_ptr<const geo::Metric> metric_;
 };
 
 /// \brief Accuracy given by an explicit |W| x |T| matrix (the paper's Table I
@@ -97,15 +119,22 @@ class MatrixAccuracy : public AccuracyFunction {
 /// beyond. Isolates the effect of the sigmoid's soft edge.
 class StepDistanceAccuracy : public AccuracyFunction {
  public:
-  explicit StepDistanceAccuracy(double dmax);
+  explicit StepDistanceAccuracy(
+      double dmax, std::shared_ptr<const geo::Metric> metric = nullptr);
 
   double Acc(const Worker& w, const Task& t) const override;
   std::optional<double> EligibleRadius(const Worker& w,
                                        double acc_min) const override;
+  const std::shared_ptr<const geo::Metric>& DistanceMetric() const override {
+    return metric_;
+  }
   std::string Name() const override;
+
+  double dmax() const { return dmax_; }
 
  private:
   double dmax_;
+  std::shared_ptr<const geo::Metric> metric_;
 };
 
 /// \brief Ablation: ignores distance entirely (classic non-spatial
@@ -117,6 +146,13 @@ class FlatAccuracy : public AccuracyFunction {
   double Acc(const Worker& w, const Task& t) const override;
   std::string Name() const override;
 };
+
+/// Rebinds a distance-attenuated model (sigmoid, step) to a different
+/// metric backend, preserving its parameters — how ltc_serve --metric=road
+/// reinterprets an event log's "accuracy sigmoid 30" header as road travel
+/// time. InvalidArgument for models with no distance structure.
+StatusOr<std::shared_ptr<const AccuracyFunction>> RebindMetric(
+    const AccuracyFunction& fn, std::shared_ptr<const geo::Metric> metric);
 
 }  // namespace model
 }  // namespace ltc

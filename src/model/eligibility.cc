@@ -19,6 +19,15 @@ std::optional<double> SpatialPruningCellSize(const AccuracyFunction& accuracy,
   return std::max(*probe_radius, 1.0);
 }
 
+double StreamingCellSize(const AccuracyFunction& accuracy, double acc_min,
+                         double world_width, int shards) {
+  const auto cell = SpatialPruningCellSize(accuracy, acc_min);
+  if (cell.has_value()) return *cell;
+  // No distance structure: gathers scan anyway, so pick the coarsest grid
+  // that still gives each shard stripe at least one whole cell column.
+  return std::max(world_width / std::max(shards, 1), 1.0);
+}
+
 StatusOr<EligibilityIndex> EligibilityIndex::Build(
     const ProblemInstance* instance) {
   if (instance == nullptr) {
@@ -48,43 +57,20 @@ std::optional<double> EligibilityIndex::QueryRadius(const Worker& w) const {
 void EligibilityIndex::EligibleTasks(const Worker& w,
                                      std::vector<TaskId>* out) const {
   out->clear();
-  const auto radius = QueryRadius(w);
-  if (radius.has_value()) {
-    if (*radius < 0.0) return;  // empty disk: nothing in reach
-    grid_->ForEachInRadius(w.location, *radius, [&](std::int64_t id) {
-      const auto t = static_cast<TaskId>(id);
-      // The radius is exact for distance-monotone models, but re-check so
-      // that approximate EligibleRadius implementations stay safe.
-      if (instance_->Eligible(w.index, t)) out->push_back(t);
-    });
-    return;
-  }
-  for (const Task& t : instance_->tasks) {
-    if (instance_->Eligible(w.index, t.id)) out->push_back(t.id);
-  }
+  ForEachEligible(w, [&](TaskId t) { out->push_back(t); });
 }
 
 void EligibilityIndex::EligibleTasksSorted(const Worker& w,
                                            std::vector<TaskId>* out) const {
   EligibleTasks(w, out);
-  // The grid path emits cell order; the scan path is already ascending.
+  // The grid path emits cell order; the scan path is already ascending
+  // (the ForEachEligible ordering contract).
   if (grid_.has_value()) std::sort(out->begin(), out->end());
 }
 
 std::int64_t EligibilityIndex::CountEligible(const Worker& w) const {
-  const auto radius = QueryRadius(w);
-  if (radius.has_value()) {
-    if (*radius < 0.0) return 0;
-    std::int64_t count = 0;
-    grid_->ForEachInRadius(w.location, *radius, [&](std::int64_t id) {
-      if (instance_->Eligible(w.index, static_cast<TaskId>(id))) ++count;
-    });
-    return count;
-  }
   std::int64_t count = 0;
-  for (const Task& t : instance_->tasks) {
-    if (instance_->Eligible(w.index, t.id)) ++count;
-  }
+  ForEachEligible(w, [&](TaskId) { ++count; });
   return count;
 }
 

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/fault_points.h"
+#include "model/accuracy.h"
 
 namespace ltc {
 namespace svc {
@@ -59,6 +60,13 @@ StatusOr<std::unique_ptr<RecoverableService>> RecoverableService::Open(
     svc->wal_ = std::move(opened).value();
     svc->header_ = rec.log;
     svc->header_.events.clear();
+    if (options.metric != nullptr && svc->header_.accuracy != nullptr) {
+      // The WAL header carries accuracy parameters, not the metric object;
+      // rebind so the recovered engine measures distance like the original.
+      LTC_ASSIGN_OR_RETURN(
+          svc->header_.accuracy,
+          model::RebindMetric(*svc->header_.accuracy, options.metric));
+    }
     svc->recovery_.recovered = true;
     svc->recovery_.wal_records =
         static_cast<std::int64_t>(rec.log.events.size());
@@ -99,6 +107,11 @@ StatusOr<std::unique_ptr<RecoverableService>> RecoverableService::Open(
   // Fresh start.
   svc->header_ = header;
   svc->header_.events.clear();
+  if (options.metric != nullptr && svc->header_.accuracy != nullptr) {
+    LTC_ASSIGN_OR_RETURN(
+        svc->header_.accuracy,
+        model::RebindMetric(*svc->header_.accuracy, options.metric));
+  }
   LTC_ASSIGN_OR_RETURN(
       svc->wal_,
       io::EventLogWriter::Create(wal_path, svc->header_, options.wal));

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "geo/metric.h"
 #include "io/event_log.h"
 #include "io/wal.h"
 #include "svc/sharded_engine.h"
@@ -57,6 +58,12 @@ class RecoverableService {
     std::int64_t snapshot_every = 0;
     /// Snapshots kept on disk (see SnapshotStore::Write).
     int snapshot_retain = 2;
+    /// Non-null: rebind the header's accuracy model onto this distance
+    /// metric (model::RebindMetric) before building the engine. The WAL
+    /// header serialises accuracy *parameters* only, so a road-metric
+    /// service must re-supply its metric on every Open — recovery included
+    /// — for the determinism-under-restart invariant to hold.
+    std::shared_ptr<const geo::Metric> metric;
   };
 
   /// What Open found and did.

@@ -11,6 +11,7 @@
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "gen/stream.h"
+#include "geo/road_graph.h"
 #include "io/workload_io.h"
 #include "model/accuracy.h"
 
@@ -76,6 +77,20 @@ Flag<std::string> FLAG_save_events("save_events", "",
 Flag<bool> FLAG_validate("validate", true,
                          "validate the final arrangement against every LTC "
                          "constraint");
+Flag<std::string> FLAG_metric(
+    "metric", "euclid",
+    "distance backend (DESIGN.md section 12): 'euclid' (the default — "
+    "byte-identical to the pre-metric service) or 'road' (shortest-path "
+    "travel times over --road_graph)");
+Flag<std::string> FLAG_road_graph(
+    "road_graph", "",
+    "--metric=road: the 'ltc-road v1' graph file travel times are "
+    "measured on");
+Flag<bool> FLAG_route_workers(
+    "route_workers", false,
+    "grow a travel route per assigned worker (cheapest insertion under "
+    "the active metric) and emit deterministic worker move events "
+    "('m' lines in the assignment log)");
 
 // Durable / server mode (DESIGN.md section 11).
 Flag<std::string> FLAG_state_dir(
@@ -139,6 +154,18 @@ void PrintRecovery(const RecoverableService::RecoveryInfo& r) {
       static_cast<long long>(r.wal_truncated_bytes));
 }
 
+/// The header label of a non-Euclidean distance backend: the metric name
+/// with any parameter suffix stripped ("road(nodes=..,edges=..)" ->
+/// "road"). Empty — no header segment — on the Euclidean default.
+std::string MetricLabel(const model::AccuracyFunction& accuracy) {
+  const geo::Metric& metric = *accuracy.DistanceMetric();
+  if (metric.euclidean()) return "";
+  std::string name = metric.Name();
+  const auto paren = name.find('(');
+  if (paren != std::string::npos) name.resize(paren);
+  return name;
+}
+
 /// Fills the sim::RunMetrics view of a durable run from the engine.
 void FillRunMetrics(const StreamOptions& options,
                     const RecoverableService& service, double runtime_seconds,
@@ -161,15 +188,28 @@ void FillRunMetrics(const StreamOptions& options,
 std::string RenderAssignmentLog(
     const StreamOptions& options,
     const std::vector<StreamAssignment>& assignments,
-    const StreamMetrics& metrics) {
+    const StreamMetrics& metrics, const std::vector<WorkerMove>* moves,
+    const std::string& metric_label) {
   std::string out = "# ltc-serve v1\n";
   out += StrFormat(
-      "# algorithm %s deadline %.17g max_batch %lld seed %llu shards %d\n",
+      "# algorithm %s deadline %.17g max_batch %lld seed %llu shards %d",
       options.algorithm.c_str(), options.batch_deadline,
       static_cast<long long>(options.max_batch),
       static_cast<unsigned long long>(options.seed), options.shards);
+  // Non-default segments only — the default header bytes are unchanged.
+  if (!metric_label.empty()) {
+    out += StrFormat(" metric %s", metric_label.c_str());
+  }
+  if (options.route_workers) out += " routes 1";
+  out += '\n';
   for (const StreamAssignment& a : assignments) {
     out += StrFormat("a %.9g %d %d\n", a.time, a.worker, a.task);
+  }
+  if (options.route_workers && moves != nullptr) {
+    for (const WorkerMove& m : *moves) {
+      out += StrFormat("m %.9g %d %.9g %.9g %d\n", m.time, m.worker,
+                       m.location.x, m.location.y, m.task);
+    }
   }
   out += StrFormat(
       "# events %lld batches %lld assignments %lld completed %lld/%lld\n",
@@ -185,12 +225,14 @@ StatusOr<ServeReport> RunService(const io::EventLog& log,
                                  const StreamOptions& options) {
   ServeReport report;
   std::vector<StreamAssignment> assignments;
+  std::vector<WorkerMove> moves;
   LTC_ASSIGN_OR_RETURN(ReplayResult replay,
-                       ReplayEventLog(log, options, &assignments));
+                       ReplayEventLog(log, options, &assignments, &moves));
   report.metrics = replay.stream;
   report.run = replay.run;
-  report.assignment_log =
-      RenderAssignmentLog(options, assignments, report.metrics);
+  report.assignment_log = RenderAssignmentLog(
+      options, assignments, report.metrics, &moves,
+      log.accuracy != nullptr ? MetricLabel(*log.accuracy) : "");
   return report;
 }
 
@@ -207,6 +249,7 @@ StatusOr<ServeReport> RunDurableService(const io::EventLog& log,
   sopts.wal = durable.wal;
   sopts.snapshot_every = durable.snapshot_every;
   sopts.snapshot_retain = durable.snapshot_retain;
+  sopts.metric = durable.metric;
 
   Stopwatch watch;
   LTC_ASSIGN_OR_RETURN(auto service, RecoverableService::Open(log, sopts));
@@ -232,8 +275,12 @@ StatusOr<ServeReport> RunDurableService(const io::EventLog& log,
   report.recovery = service->recovery();
   LTC_ASSIGN_OR_RETURN(report.metrics, service->Finish());
   FillRunMetrics(options, *service, watch.ElapsedSeconds(), &report);
-  report.assignment_log =
-      RenderAssignmentLog(options, service->assignments(), report.metrics);
+  report.assignment_log = RenderAssignmentLog(
+      options, service->assignments(), report.metrics,
+      &service->engine().worker_moves(),
+      service->header().accuracy != nullptr
+          ? MetricLabel(*service->header().accuracy)
+          : "");
   return report;
 }
 
@@ -288,6 +335,12 @@ std::string ServeMetricsJson(const ServeReport& report,
                     static_cast<long long>(m.tasks_completed));
   json += StrFormat("  \"open_tasks\": %lld,\n",
                     static_cast<long long>(m.open_tasks));
+  json += StrFormat("  \"worker_moves\": %lld,\n",
+                    static_cast<long long>(m.worker_moves));
+  json += StrFormat("  \"routed_workers\": %lld,\n",
+                    static_cast<long long>(m.routed_workers));
+  json += StrFormat("  \"route_travel_time\": %.6f,\n",
+                    m.route_travel_time);
   json += StrFormat("  \"max_worker_index\": %lld,\n",
                     static_cast<long long>(report.run.latency));
   json += StrFormat("  \"validated\": %s,\n", m.validated ? "true" : "false");
@@ -348,6 +401,7 @@ int EmitReport(const ServeReport& report, const StreamOptions& options,
 /// stdout footer and metrics JSON (never in the assignment log, which must
 /// stay byte-identical across restarts).
 int RunSocketServer(const StreamOptions& options,
+                    const std::shared_ptr<const geo::Metric>& metric,
                     const SocketServeFn& socket_serve) {
   io::EventLog header;
   if (!FLAG_header_from.Get().empty()) {
@@ -372,6 +426,7 @@ int RunSocketServer(const StreamOptions& options,
   sopts.wal.fsync = FLAG_wal_fsync.Get();
   sopts.snapshot_every = FLAG_snapshot_every.Get();
   sopts.snapshot_retain = static_cast<int>(FLAG_snapshot_retain.Get());
+  sopts.metric = metric;
 
   Stopwatch watch;
   auto service = RecoverableService::Open(header, sopts);
@@ -406,7 +461,11 @@ int RunSocketServer(const StreamOptions& options,
   report.metrics = std::move(metrics).value();
   FillRunMetrics(options, *service.value(), watch.ElapsedSeconds(), &report);
   report.assignment_log = RenderAssignmentLog(
-      options, service.value()->assignments(), report.metrics);
+      options, service.value()->assignments(), report.metrics,
+      &service.value()->engine().worker_moves(),
+      service.value()->header().accuracy != nullptr
+          ? MetricLabel(*service.value()->header().accuracy)
+          : "");
 
   const SocketServeResult& ing = served.value();
   std::string extra;
@@ -521,6 +580,28 @@ int ServeMain(int argc, char** argv, SocketServeFn socket_serve) {
   options.mcf_warm_start = FLAG_mcf_warm_start.Get();
   options.mcf_drift_check_every =
       static_cast<int>(FLAG_mcf_drift_check_every.Get());
+  options.route_workers = FLAG_route_workers.Get();
+
+  // Distance backend. The metric object lives here and is (re)bound onto
+  // whichever header the chosen mode resolves; durable modes also carry it
+  // through RecoverableService::Options so recovery rebinds too.
+  std::shared_ptr<const geo::Metric> metric;
+  if (FLAG_metric.Get() == "road") {
+    if (FLAG_road_graph.Get().empty()) {
+      return FailConfig(Status::InvalidArgument(
+          "--metric=road requires --road_graph=FILE ('ltc-road v1')"));
+    }
+    auto graph = geo::RoadGraph::Load(FLAG_road_graph.Get());
+    if (!graph.ok()) {
+      return FailConfig(graph.status().WithContext("--road_graph"));
+    }
+    metric = std::make_shared<geo::RoadMetric>(
+        std::make_shared<geo::RoadGraph>(std::move(graph).value()));
+  } else if (FLAG_metric.Get() != "euclid") {
+    return FailConfig(Status::InvalidArgument(StrFormat(
+        "unknown --metric '%s' (expected euclid or road)",
+        FLAG_metric.Get().c_str())));
+  }
   if (durable) {
     // Durable runs fix their grid geometry up front (svc/recoverable.h).
     const double side = FLAG_world_side.Get();
@@ -531,7 +612,7 @@ int ServeMain(int argc, char** argv, SocketServeFn socket_serve) {
     options.world = geo::Rect{0.0, 0.0, side, side};
   }
 
-  if (socket_mode) return RunSocketServer(options, socket_serve);
+  if (socket_mode) return RunSocketServer(options, metric, socket_serve);
 
   io::EventLog log;
   if (FLAG_synthetic.Get()) {
@@ -555,6 +636,13 @@ int ServeMain(int argc, char** argv, SocketServeFn socket_serve) {
     const Status saved = io::SaveEventLog(log, FLAG_save_events.Get());
     if (!saved.ok()) return FailRuntime(saved);
   }
+  if (metric != nullptr && log.accuracy != nullptr) {
+    auto rebound = model::RebindMetric(*log.accuracy, metric);
+    if (!rebound.ok()) {
+      return FailConfig(rebound.status().WithContext("--metric"));
+    }
+    log.accuracy = std::move(rebound).value();
+  }
 
   StatusOr<ServeReport> report = Status::Internal("unreachable");
   if (durable) {
@@ -564,6 +652,7 @@ int ServeMain(int argc, char** argv, SocketServeFn socket_serve) {
     dcfg.wal.fsync = FLAG_wal_fsync.Get();
     dcfg.snapshot_every = FLAG_snapshot_every.Get();
     dcfg.snapshot_retain = static_cast<int>(FLAG_snapshot_retain.Get());
+    dcfg.metric = metric;
     report = RunDurableService(log, options, dcfg);
   } else {
     report = RunService(log, options);

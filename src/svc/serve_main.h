@@ -26,10 +26,12 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "geo/metric.h"
 #include "io/event_log.h"
 #include "io/wal.h"
 #include "svc/recoverable.h"
@@ -54,10 +56,18 @@ struct ServeReport {
 };
 
 /// Renders the "ltc-serve v1" assignment-log text (shared by every mode, so
-/// the byte-identity contracts compare like with like).
-std::string RenderAssignmentLog(const StreamOptions& options,
-                                const std::vector<StreamAssignment>& assignments,
-                                const StreamMetrics& metrics);
+/// the byte-identity contracts compare like with like). With the default
+/// arguments the bytes are exactly the classic format; `metric_label`
+/// (non-empty = non-Euclidean backend) appends a " metric <label>" header
+/// segment, options.route_workers appends " routes 1" and renders one
+/// "m <time> <worker> <x> <y> <task>" line per worker move after the
+/// assignment lines.
+std::string RenderAssignmentLog(
+    const StreamOptions& options,
+    const std::vector<StreamAssignment>& assignments,
+    const StreamMetrics& metrics,
+    const std::vector<WorkerMove>* moves = nullptr,
+    const std::string& metric_label = "");
 
 /// Replays `log` through a StreamEngine under `options` and renders the
 /// assignment log.
@@ -70,6 +80,9 @@ struct DurableConfig {
   io::WalOptions wal;
   std::int64_t snapshot_every = 0;
   int snapshot_retain = 2;
+  /// Forwarded to RecoverableService::Options::metric (non-Euclidean
+  /// backends must be re-supplied on every Open; svc/recoverable.h).
+  std::shared_ptr<const geo::Metric> metric;
 };
 
 /// Replays `log` through a RecoverableService rooted at

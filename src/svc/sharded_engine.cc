@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/string_util.h"
+#include "geo/metric.h"
 #include "geo/point.h"
 #include "model/eligibility.h"
 #include "model/worker.h"
@@ -38,6 +39,7 @@ StreamPipeline::Config ShardConfig(const StreamOptions& options, int shard,
   config.num_shards = options.shards;
   config.mcf_warm_start = options.mcf_warm_start;
   config.mcf_drift_check_every = options.mcf_drift_check_every;
+  config.route_workers = options.route_workers;
   config.world = options.world;
   config.cell_size = cell;
   return config;
@@ -63,13 +65,12 @@ Status ShardedStreamEngine::InitCommon(const io::EventLog& header,
   const auto cell =
       model::SpatialPruningCellSize(*header.accuracy, header.acc_min);
   // Stripe edges align with the incremental grids' cell columns. Models
-  // without distance structure have no natural cell; stripes then cut the
-  // world into K equal columns (workers route to every shard regardless).
-  const double map_cell = cell.has_value()
-                              ? *cell
-                              : std::max(options.world.Width() /
-                                             static_cast<double>(options.shards),
-                                         1.0);
+  // without distance structure have no natural cell; the shared helper
+  // resolves the fallback (equal stripe-wide columns) so this geometry can
+  // never drift from the single-pipeline engine's.
+  const double map_cell = model::StreamingCellSize(
+      *header.accuracy, header.acc_min, options.world.Width(),
+      options.shards);
   LTC_ASSIGN_OR_RETURN(
       map_, geo::ShardMap::Build(options.world, map_cell, options.shards));
   route_flags_.assign(static_cast<std::size_t>(options.shards), 0);
@@ -156,6 +157,17 @@ Status ShardedStreamEngine::SerializeTo(std::string* out) const {
     out->append(StrFormat("A %.17g %lld %lld\n", a.time,
                           static_cast<long long>(a.worker),
                           static_cast<long long>(a.task)));
+  }
+  // The merged move log, route_workers mode only — the default snapshot
+  // bytes stay exactly the pre-routing format.
+  if (options_.route_workers) {
+    out->append(StrFormat("moves %lld\n",
+                          static_cast<long long>(moves_.size())));
+    for (const WorkerMove& m : moves_) {
+      out->append(StrFormat("M %.17g %lld %.17g %.17g %lld\n", m.time,
+                            static_cast<long long>(m.worker), m.location.x,
+                            m.location.y, static_cast<long long>(m.task)));
+    }
   }
 
   for (int s = 0; s < num_shards(); ++s) {
@@ -279,6 +291,27 @@ StatusOr<std::unique_ptr<ShardedStreamEngine>> ShardedStreamEngine::Restore(
   engine->metrics_.assignments =
       static_cast<std::int64_t>(engine->assignments_.size());
 
+  if (options.route_workers) {
+    LTC_RETURN_IF_ERROR(reader.Read("moves", 2, &f));
+    std::int64_t nm = 0;
+    LTC_RETURN_IF_ERROR(snap::FieldI64(f, 1, &nm));
+    engine->moves_.reserve(static_cast<std::size_t>(nm));
+    for (std::int64_t i = 0; i < nm; ++i) {
+      LTC_RETURN_IF_ERROR(reader.Read("M", 6, &f));
+      WorkerMove m;
+      std::int64_t worker = 0;
+      std::int64_t task = 0;
+      LTC_RETURN_IF_ERROR(snap::FieldDouble(f, 1, &m.time));
+      LTC_RETURN_IF_ERROR(snap::FieldI64(f, 2, &worker));
+      LTC_RETURN_IF_ERROR(snap::FieldDouble(f, 3, &m.location.x));
+      LTC_RETURN_IF_ERROR(snap::FieldDouble(f, 4, &m.location.y));
+      LTC_RETURN_IF_ERROR(snap::FieldI64(f, 5, &task));
+      m.worker = static_cast<model::WorkerIndex>(worker);
+      m.task = static_cast<model::TaskId>(task);
+      engine->moves_.push_back(m);
+    }
+  }
+
   engine->pipelines_.reserve(static_cast<std::size_t>(options.shards));
   for (int s = 0; s < options.shards; ++s) {
     LTC_RETURN_IF_ERROR(reader.Read("pipeline", 2, &f));
@@ -359,11 +392,19 @@ Status ShardedStreamEngine::HandleWorkerArrival(const io::Event& event) {
     for (int s = lo; s <= hi; ++s) {
       route_flags_[static_cast<std::size_t>(s)] = 1;
     }
+    const geo::Metric& metric = *accuracy_->DistanceMetric();
     const double r2 = r * r;
     for (const auto& [task, displaced] : displaced_) {
       if (!task_open_[static_cast<std::size_t>(task)]) continue;
       if (route_flags_[static_cast<std::size_t>(displaced.owner)]) continue;
-      if (geo::SquaredDistance(displaced.location, event.location) <= r2) {
+      // The radius is in metric units; reachability of a displaced task is
+      // a metric-ball test (the Euclidean fast path avoids the sqrt and
+      // any virtual hop on the default backend).
+      const bool in_reach =
+          metric.euclidean()
+              ? geo::SquaredDistance(displaced.location, event.location) <= r2
+              : metric.Distance(event.location, displaced.location) <= r;
+      if (in_reach) {
         route_flags_[static_cast<std::size_t>(displaced.owner)] = 1;
       }
     }
@@ -541,6 +582,8 @@ Status ShardedStreamEngine::RunRound(std::vector<DueFlush> due) {
       displaced_.erase(task);
     }
     p.pending_closed().clear();
+    for (const WorkerMove& m : p.pending_moves()) moves_.push_back(m);
+    p.pending_moves().clear();
   }
   return Status::OK();
 }
@@ -577,9 +620,19 @@ StatusOr<StreamMetrics> ShardedStreamEngine::Finish() {
       displaced_.erase(task);
     }
     p.pending_closed().clear();
+    for (const WorkerMove& m : p.pending_moves()) moves_.push_back(m);
+    p.pending_moves().clear();
   }
   finished_ = true;
 
+  // One deterministic global move order; stable so equal (time, worker)
+  // keys — zero-length legs — keep their route order.
+  std::stable_sort(moves_.begin(), moves_.end(),
+                   [](const WorkerMove& a, const WorkerMove& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.worker < b.worker;
+                   });
+  metrics_.worker_moves = static_cast<std::int64_t>(moves_.size());
   metrics_.last_event_time = last_event_time_;
   metrics_.shards = num_shards();
   std::vector<double> assignment_samples;
@@ -590,6 +643,8 @@ StatusOr<StreamMetrics> ShardedStreamEngine::Finish() {
         std::max(metrics_.max_batch_size, pipeline->max_batch_size());
     metrics_.tasks_completed += pipeline->tasks_completed();
     metrics_.open_tasks += pipeline->open_tasks();
+    metrics_.routed_workers += pipeline->routed_workers();
+    metrics_.route_travel_time += pipeline->route_travel_time();
     const auto* a = pipeline->mutable_assignment_latency_samples();
     assignment_samples.insert(assignment_samples.end(), a->begin(), a->end());
     const auto* c = pipeline->mutable_completion_latency_samples();

@@ -91,6 +91,10 @@ class ShardedStreamEngine {
   const std::vector<StreamAssignment>& assignments() const {
     return assignments_;
   }
+  /// route_workers mode: the merged worker-move log, sorted (time, worker)
+  /// after Finish (a worker commits in at most one shard, so its route —
+  /// and its moves — live in exactly one pipeline). Empty when off.
+  const std::vector<WorkerMove>& worker_moves() const { return moves_; }
   /// Largest global arrival index holding an assignment (the MinMax
   /// latency objective of the merged run).
   model::WorkerIndex max_assigned_worker() const {
@@ -173,6 +177,7 @@ class ShardedStreamEngine {
   std::vector<char> route_flags_;      // scratch: shard membership per event
 
   std::vector<StreamAssignment> assignments_;
+  std::vector<WorkerMove> moves_;
   model::WorkerIndex max_assigned_worker_ = 0;
   StreamMetrics metrics_;
   double last_event_time_ = 0.0;

@@ -92,7 +92,8 @@ StatusOr<std::unique_ptr<StreamPipeline>> StreamPipeline::Create(
 }
 
 Status StreamPipeline::SerializeTo(std::string* out) const {
-  if (!pending_assignments_.empty() || !pending_closed_.empty()) {
+  if (!pending_assignments_.empty() || !pending_closed_.empty() ||
+      !pending_moves_.empty()) {
     return Status::FailedPrecondition(
         "pipeline snapshot mid-round: pending records not yet merged");
   }
@@ -141,6 +142,24 @@ Status StreamPipeline::SerializeTo(std::string* out) const {
       static_cast<std::int64_t>(std::count(sched.begin(), sched.end(), '\n'));
   out->append(StrFormat("sched %lld\n", static_cast<long long>(sched_lines)));
   out->append(sched);
+  // Route state rides along only in route_workers mode, so the default
+  // snapshot bytes are exactly the pre-routing format.
+  if (config_.route_workers) {
+    out->append(StrFormat("proutes %lld\n",
+                          static_cast<long long>(routes_.size())));
+    for (const auto& [w, route] : routes_) {
+      out->append(StrFormat("pr %lld %.17g %.17g %.17g %lld %lld\n",
+                            static_cast<long long>(w), route.origin().x,
+                            route.origin().y, route.start_time(),
+                            static_cast<long long>(route.visited()),
+                            static_cast<long long>(route.stops().size())));
+      for (const model::WorkerRoute::Stop& s : route.stops()) {
+        out->append(StrFormat("ps %lld %.17g %.17g\n",
+                              static_cast<long long>(s.task), s.location.x,
+                              s.location.y));
+      }
+    }
+  }
   out->append("endpipe\n");
   return Status::OK();
 }
@@ -259,6 +278,49 @@ StatusOr<std::unique_ptr<StreamPipeline>> StreamPipeline::Restore(
       algo::OnlineScheduler::StreamShardContext{config.shard_id,
                                                 config.num_shards},
       blob));
+
+  if (config.route_workers) {
+    const geo::Metric& metric =
+        *pipeline->instance_.accuracy->DistanceMetric();
+    LTC_RETURN_IF_ERROR(reader->Read("proutes", 2, &f));
+    std::int64_t n_routes = 0;
+    LTC_RETURN_IF_ERROR(snap::FieldI64(f, 1, &n_routes));
+    for (std::int64_t r = 0; r < n_routes; ++r) {
+      LTC_RETURN_IF_ERROR(reader->Read("pr", 7, &f));
+      std::int64_t w = 0;
+      geo::Point origin;
+      double start_time = 0.0;
+      std::int64_t visited = 0;
+      std::int64_t n_stops = 0;
+      LTC_RETURN_IF_ERROR(snap::FieldI64(f, 1, &w));
+      LTC_RETURN_IF_ERROR(snap::FieldDouble(f, 2, &origin.x));
+      LTC_RETURN_IF_ERROR(snap::FieldDouble(f, 3, &origin.y));
+      LTC_RETURN_IF_ERROR(snap::FieldDouble(f, 4, &start_time));
+      LTC_RETURN_IF_ERROR(snap::FieldI64(f, 5, &visited));
+      LTC_RETURN_IF_ERROR(snap::FieldI64(f, 6, &n_stops));
+      if (w < 1 || w > nw || visited < 0 || visited > n_stops ||
+          n_stops < 0) {
+        return Status::OutOfRange("snapshot: route record out of range");
+      }
+      std::vector<std::pair<model::TaskId, geo::Point>> stops;
+      stops.reserve(static_cast<std::size_t>(n_stops));
+      for (std::int64_t s = 0; s < n_stops; ++s) {
+        LTC_RETURN_IF_ERROR(reader->Read("ps", 4, &f));
+        std::int64_t task = 0;
+        geo::Point location;
+        LTC_RETURN_IF_ERROR(snap::FieldI64(f, 1, &task));
+        LTC_RETURN_IF_ERROR(snap::FieldDouble(f, 2, &location.x));
+        LTC_RETURN_IF_ERROR(snap::FieldDouble(f, 3, &location.y));
+        stops.emplace_back(static_cast<model::TaskId>(task), location);
+      }
+      // FromStops recomputes leg costs and reach times from the metric, so
+      // the restored route emits the exact moves the live one would have.
+      pipeline->routes_.emplace(
+          static_cast<model::WorkerIndex>(w),
+          model::WorkerRoute::FromStops(metric, origin, start_time, stops,
+                                        static_cast<std::size_t>(visited)));
+    }
+  }
   LTC_RETURN_IF_ERROR(reader->Read("endpipe", 1, &f));
 
   // Derived state. open_ follows from the restored arrangement (a task is
@@ -357,13 +419,23 @@ void StreamPipeline::GatherSlot(std::size_t i) {
         instance_.accuracy->EligibleRadius(worker, instance_.acc_min);
     if (!radius.has_value()) return;  // probe had structure; worker must too
     if (*radius < 0.0) return;        // empty disk: nothing in reach
-    grid_->ForEachInRadius(worker.location, *radius, [&](std::int64_t id) {
+    auto check = [&](std::int64_t id) {
       const auto t = static_cast<model::TaskId>(id);
       // Exact for distance-monotone models; re-check keeps approximate
       // EligibleRadius implementations safe (same policy as
       // EligibilityIndex).
       if (instance_.Eligible(worker.index, t)) out->push_back(t);
-    });
+    };
+    const geo::Metric& metric = *instance_.accuracy->DistanceMetric();
+    if (metric.euclidean()) {
+      // Fast path: the templated grid visitor, no std::function hop.
+      grid_->ForEachInRadius(worker.location, *radius, check);
+    } else {
+      // Grid pruning stays a superset under any conforming metric (the
+      // metric ball of radius r sits inside the Euclidean disk of radius
+      // r — geo/metric.h); EligibleWithin applies the exact filter.
+      metric.EligibleWithin(*grid_, worker.location, *radius, check);
+    }
     // The grid emits cell order; the scheduler contract wants ascending ids.
     std::sort(out->begin(), out->end());
     return;
@@ -381,6 +453,9 @@ Status StreamPipeline::CommitBatch(double flush_time) {
   const std::size_t n = batch_.size();
   ++batches_;
   max_batch_size_ = std::max(max_batch_size_, static_cast<std::int64_t>(n));
+  // Route progress up to this flush instant is emitted before this round's
+  // commitments extend any route.
+  if (config_.route_workers) AdvanceRoutes(flush_time);
 
   if (scheduler_->SchedulesWholeBatch()) {
     // Batch protocol: the whole flushed batch in arrival order, one call.
@@ -414,6 +489,7 @@ Status StreamPipeline::CommitBatch(double flush_time) {
           task_global_[static_cast<std::size_t>(t)]});
       assignment_latency_samples_.push_back(
           flush_time - task_arrival_time_[static_cast<std::size_t>(t)]);
+      if (config_.route_workers) RouteAssignment(w.index, t, flush_time);
     }
     CloseCompleted(assigned_scratch_, flush_time);
   }
@@ -422,12 +498,18 @@ Status StreamPipeline::CommitBatch(double flush_time) {
 }
 
 Status StreamPipeline::CommitStreamEnd(double end_time) {
+  // Stream end also closes the move log: whatever route progress lands at
+  // or before the end instant is emitted (stops beyond it stay in flight).
+  if (config_.route_workers) AdvanceRoutes(end_time);
   if (!scheduler_->SchedulesWholeBatch()) return Status::OK();
   commits_scratch_.clear();
   LTC_RETURN_IF_ERROR(scheduler_->OnStreamEnd(&commits_scratch_));
   if (commits_scratch_.empty()) return Status::OK();
   ++batches_;  // the final partial batch is a real commit round
   RecordCommits(commits_scratch_, end_time);
+  // Commitments made at the end instant can complete zero-length legs
+  // (stop at the worker's own location) exactly at end_time.
+  if (config_.route_workers) AdvanceRoutes(end_time);
   return Status::OK();
 }
 
@@ -442,8 +524,46 @@ void StreamPipeline::RecordCommits(
     assignment_latency_samples_.push_back(
         time - task_arrival_time_[static_cast<std::size_t>(commit.task)]);
     assigned_scratch_.push_back(commit.task);
+    if (config_.route_workers) {
+      RouteAssignment(commit.worker, commit.task, time);
+    }
   }
   CloseCompleted(assigned_scratch_, time);
+}
+
+void StreamPipeline::AdvanceRoutes(double now) {
+  for (auto& [w, route] : routes_) {
+    if (route.done()) continue;
+    const model::WorkerIndex global =
+        worker_global_[static_cast<std::size_t>(w) - 1];
+    route.AdvanceTo(now, [&](const model::WorkerRoute::Stop& stop) {
+      pending_moves_.push_back(
+          WorkerMove{stop.reach_time, global, stop.location, stop.task});
+    });
+  }
+}
+
+void StreamPipeline::RouteAssignment(model::WorkerIndex w, model::TaskId t,
+                                     double time) {
+  auto it = routes_.find(w);
+  if (it == routes_.end()) {
+    const model::Worker& worker =
+        instance_.workers[static_cast<std::size_t>(w) - 1];
+    it = routes_
+             .emplace(w, model::WorkerRoute(worker.location, time))
+             .first;
+  }
+  const geo::Metric& metric = *instance_.accuracy->DistanceMetric();
+  // Stops carry the *global* task id (moves are global records) and the
+  // task's location as of commit time.
+  it->second.Insert(metric, task_global_[static_cast<std::size_t>(t)],
+                    instance_.tasks[static_cast<std::size_t>(t)].location);
+}
+
+double StreamPipeline::route_travel_time() const {
+  double total = 0.0;
+  for (const auto& [w, route] : routes_) total += route.total_cost();
+  return total;
 }
 
 void StreamPipeline::CloseCompleted(
@@ -508,8 +628,11 @@ StatusOr<std::unique_ptr<StreamEngine>> StreamEngine::Create(
   config.world = options.world;
   config.mcf_warm_start = options.mcf_warm_start;
   config.mcf_drift_check_every = options.mcf_drift_check_every;
-  // Same grid geometry rule as EligibilityIndex::Build (shared helper);
-  // models without distance structure fall back to scanning the open set.
+  config.route_workers = options.route_workers;
+  // Same grid geometry rule as EligibilityIndex::Build (the shared
+  // model::SpatialPruningCellSize / model::StreamingCellSize helpers —
+  // model/eligibility.h); models without distance structure fall back to
+  // scanning the open set.
   config.cell_size =
       model::SpatialPruningCellSize(*header.accuracy, header.acc_min);
   LTC_ASSIGN_OR_RETURN(engine->pipeline_,
@@ -614,6 +737,10 @@ Status StreamEngine::FlushBatch(double flush_time) {
   }
   pipeline_->pending_assignments().clear();
   pipeline_->pending_closed().clear();
+  for (const WorkerMove& m : pipeline_->pending_moves()) {
+    moves_.push_back(m);
+  }
+  pipeline_->pending_moves().clear();
   return Status::OK();
 }
 
@@ -638,7 +765,21 @@ StatusOr<StreamMetrics> StreamEngine::Finish() {
   }
   pipeline_->pending_assignments().clear();
   pipeline_->pending_closed().clear();
+  for (const WorkerMove& m : pipeline_->pending_moves()) {
+    moves_.push_back(m);
+  }
+  pipeline_->pending_moves().clear();
+  // One deterministic global move order; stable so equal (time, worker)
+  // keys — zero-length legs — keep their route order.
+  std::stable_sort(moves_.begin(), moves_.end(),
+                   [](const WorkerMove& a, const WorkerMove& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.worker < b.worker;
+                   });
   finished_ = true;
+  metrics_.worker_moves = static_cast<std::int64_t>(moves_.size());
+  metrics_.routed_workers = pipeline_->routed_workers();
+  metrics_.route_travel_time = pipeline_->route_travel_time();
   metrics_.last_event_time = last_event_time_;
   metrics_.batches = pipeline_->batches();
   metrics_.max_batch_size = pipeline_->max_batch_size();
@@ -662,7 +803,8 @@ StatusOr<StreamMetrics> StreamEngine::Finish() {
 
 StatusOr<ReplayResult> ReplayEventLog(
     const io::EventLog& log, const StreamOptions& options,
-    std::vector<StreamAssignment>* assignments_out) {
+    std::vector<StreamAssignment>* assignments_out,
+    std::vector<WorkerMove>* moves_out) {
   LTC_RETURN_IF_ERROR(log.Validate());
   if (options.shards < 1) {
     return Status::InvalidArgument("shards must be >= 1");
@@ -699,6 +841,9 @@ StatusOr<ReplayResult> ReplayEventLog(
     if (assignments_out != nullptr) {
       *assignments_out = engine->assignments();
     }
+    if (moves_out != nullptr) {
+      *moves_out = engine->worker_moves();
+    }
     return result;
   }
 
@@ -726,6 +871,9 @@ StatusOr<ReplayResult> ReplayEventLog(
   }
   if (assignments_out != nullptr) {
     *assignments_out = engine->assignments();
+  }
+  if (moves_out != nullptr) {
+    *moves_out = engine->worker_moves();
   }
   return result;
 }

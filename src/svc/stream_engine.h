@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <future>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -37,9 +38,11 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "geo/grid_index.h"
+#include "geo/metric.h"
 #include "geo/rect.h"
 #include "io/event_log.h"
 #include "model/problem.h"
+#include "model/worker_route.h"
 #include "sim/metrics.h"
 #include "svc/snapshot.h"
 
@@ -87,6 +90,13 @@ struct StreamOptions {
   /// independent from-scratch solve, CHECK-failing on divergence (see
   /// flow::IncrementalMcmfOptions::drift_check_every). 0 disables.
   int mcf_drift_check_every = 0;
+  /// Route-aware workers (DESIGN.md §12): committed assignments grow a
+  /// model::WorkerRoute per worker (cheapest insertion under the accuracy
+  /// model's geo::Metric), and the engine emits deterministic worker
+  /// `move` events as unit-speed route progress crosses flush boundaries.
+  /// Off by default — the assignment log and snapshot bytes are unchanged
+  /// when false.
+  bool route_workers = false;
 };
 
 /// One committed assignment, in commit order — the deterministic record the
@@ -97,6 +107,18 @@ struct StreamAssignment {
   /// Batch flush (commit) time.
   double time = 0.0;
   model::WorkerIndex worker = 0;
+  model::TaskId task = 0;
+};
+
+/// One worker-route progress record (route_workers mode only): worker
+/// (global arrival index) reached `location` — the stop serving `task` —
+/// at stream time `time`. The merged move log is sorted by (time, worker),
+/// ties kept in route order, and is a pure function of the same inputs as
+/// the assignment log (model/worker_route.h's determinism contract).
+struct WorkerMove {
+  double time = 0.0;
+  model::WorkerIndex worker = 0;
+  geo::Point location;
   model::TaskId task = 0;
 };
 
@@ -121,6 +143,12 @@ struct StreamMetrics {
   /// Shard offers dropped because another shard had already claimed the
   /// worker (one worker can contribute to several skips).
   std::int64_t handoff_skips = 0;
+  /// route_workers mode: stops reached (move records emitted) by Finish.
+  std::int64_t worker_moves = 0;
+  /// route_workers mode: workers holding a route (>= 1 assignment).
+  std::int64_t routed_workers = 0;
+  /// route_workers mode: total metric travel time over all routes.
+  double route_travel_time = 0.0;
   /// Commit time minus assigned task's arrival time, per assignment.
   sim::LatencySummary assignment_latency;
   /// Completing commit time minus arrival time, per completed task.
@@ -171,6 +199,8 @@ class StreamPipeline {
     /// "MCF" warm-start knobs (see StreamOptions).
     bool mcf_warm_start = true;
     int mcf_drift_check_every = 0;
+    /// Route-aware workers (see StreamOptions::route_workers).
+    bool route_workers = false;
   };
 
   /// Creates a pipeline for a stream with `header`'s instance parameters.
@@ -256,6 +286,10 @@ class StreamPipeline {
   }
   /// Global ids of tasks closed by the last CommitBatch.
   std::vector<model::TaskId>& pending_closed() { return pending_closed_; }
+  /// route_workers mode: moves emitted by the last CommitBatch /
+  /// CommitStreamEnd (route progress that crossed the flush instant), in
+  /// per-worker route order. Always empty when routing is off.
+  std::vector<WorkerMove>& pending_moves() { return pending_moves_; }
 
   // --- Finish-time accessors ---
 
@@ -274,6 +308,12 @@ class StreamPipeline {
   std::int64_t open_tasks() const;
   /// Distinct (local) workers holding at least one assignment.
   std::int64_t workers_used() const;
+  /// route_workers mode: workers holding a route.
+  std::int64_t routed_workers() const {
+    return static_cast<std::int64_t>(routes_.size());
+  }
+  /// route_workers mode: total metric travel time over all routes.
+  double route_travel_time() const;
   std::vector<double>* mutable_assignment_latency_samples() {
     return &assignment_latency_samples_;
   }
@@ -287,6 +327,18 @@ class StreamPipeline {
   /// Marks completed-but-open tasks of `assigned` (local ids) closed.
   void CloseCompleted(const std::vector<model::TaskId>& assigned,
                       double flush_time);
+
+  /// route_workers mode: advances every route to `now`, emitting a
+  /// WorkerMove per newly reached stop into pending_moves_ (ascending
+  /// local-worker order; the engine's final (time, worker) sort fixes the
+  /// global order).
+  void AdvanceRoutes(double now);
+  /// route_workers mode: grows (or creates, anchored at the worker's
+  /// check-in location and `time`) local worker `w`'s route by cheapest
+  /// insertion of local task `t`. Cost is measured from the route's
+  /// insertion point — a second task committed to the same worker pays the
+  /// marginal detour, not the from-origin distance.
+  void RouteAssignment(model::WorkerIndex w, model::TaskId t, double time);
 
   /// Folds one batch-protocol commitment list into the pending records at
   /// `time` (assignment log, latency samples, closures).
@@ -315,6 +367,10 @@ class StreamPipeline {
   std::vector<algo::OnlineScheduler::StreamCommit> commits_scratch_;
   std::vector<StreamAssignment> pending_assignments_;
   std::vector<model::TaskId> pending_closed_;
+  // Route state (route_workers only; empty otherwise). Ordered by local
+  // worker index so advancement and serialization are deterministic.
+  std::map<model::WorkerIndex, model::WorkerRoute> routes_;
+  std::vector<WorkerMove> pending_moves_;
   std::vector<double> assignment_latency_samples_;
   std::vector<double> completion_latency_samples_;
   std::int64_t batches_ = 0;
@@ -359,6 +415,9 @@ class StreamEngine {
   const std::vector<StreamAssignment>& assignments() const {
     return assignments_;
   }
+  /// route_workers mode: every emitted move, sorted (time, worker) after
+  /// Finish. Empty when routing is off.
+  const std::vector<WorkerMove>& worker_moves() const { return moves_; }
   /// True while the incremental grid is in use (distance-structured
   /// accuracy model); false on the scan fallback.
   bool spatial() const { return pipeline_->spatial(); }
@@ -378,6 +437,7 @@ class StreamEngine {
   StreamOptions options_;
   std::unique_ptr<StreamPipeline> pipeline_;
   std::vector<StreamAssignment> assignments_;
+  std::vector<WorkerMove> moves_;
   StreamMetrics metrics_;
   double last_event_time_ = 0.0;
   bool finished_ = false;
@@ -394,7 +454,8 @@ class StreamEngine {
 /// feeds every event, and finishes. options.shards selects the engine:
 /// 1 replays through StreamEngine, K > 1 through ShardedStreamEngine.
 /// When `assignments_out` is non-null it receives the deterministic
-/// assignment record.
+/// assignment record; `moves_out` likewise receives the worker-move log
+/// (empty unless options.route_workers).
 struct ReplayResult {
   StreamMetrics stream;
   /// The sim::RunMetrics view: latency = max worker index, completed,
@@ -403,7 +464,8 @@ struct ReplayResult {
 };
 StatusOr<ReplayResult> ReplayEventLog(
     const io::EventLog& log, const StreamOptions& options,
-    std::vector<StreamAssignment>* assignments_out = nullptr);
+    std::vector<StreamAssignment>* assignments_out = nullptr,
+    std::vector<WorkerMove>* moves_out = nullptr);
 
 }  // namespace svc
 }  // namespace ltc
