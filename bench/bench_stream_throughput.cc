@@ -45,7 +45,14 @@ Flag<std::int64_t> FLAG_threads(
     "threads", 1,
     "candidate-gathering threads (0 = hardware concurrency); latency "
     "outputs are identical for every value");
-Flag<double> FLAG_deadline("deadline", 0.5, "batching deadline");
+Flag<std::string> FLAG_deadline(
+    "deadline", "0.5",
+    "batching deadline, or 'adaptive' for the forecast-driven policy "
+    "(capped at --deadline_cap; the JSON figure becomes "
+    "stream_throughput_adaptive so adaptive baselines gate separately)");
+Flag<double> FLAG_deadline_cap(
+    "deadline_cap", 0.5,
+    "--deadline=adaptive: hard cap on how long a batch may stay open");
 Flag<std::string> FLAG_shards("shards", "1",
                               "comma-separated spatial shard counts to run "
                               "(e.g. 1,4); every count becomes its own "
@@ -83,7 +90,9 @@ struct CellResult {
 
 StatusOr<CellResult> RunCell(const StreamCase& scale, std::int64_t shards,
                              const std::string& algorithm,
-                             const std::shared_ptr<const geo::Metric>& metric) {
+                             const std::shared_ptr<const geo::Metric>& metric,
+                             svc::DeadlinePolicy deadline_policy,
+                             double batch_deadline) {
   CellResult cell;
   cell.name = algorithm;
   const std::int64_t reps = FLAG_reps.Get();
@@ -102,7 +111,8 @@ StatusOr<CellResult> RunCell(const StreamCase& scale, std::int64_t shards,
 
     svc::StreamOptions options;
     options.algorithm = algorithm;
-    options.batch_deadline = FLAG_deadline.Get();
+    options.deadline_policy = deadline_policy;
+    options.batch_deadline = batch_deadline;
     options.seed = cfg.seed;
     options.threads = static_cast<int>(FLAG_threads.Get());
     options.shards = static_cast<int>(shards);
@@ -193,6 +203,17 @@ int Main(int argc, char** argv) {
     return 1;
   }
 
+  svc::DeadlinePolicy deadline_policy = svc::DeadlinePolicy::kFixed;
+  double batch_deadline = 0.0;
+  if (FLAG_deadline.Get() == "adaptive") {
+    deadline_policy = svc::DeadlinePolicy::kAdaptive;
+    batch_deadline = FLAG_deadline_cap.Get();
+  } else if (!ParseDouble(FLAG_deadline.Get(), &batch_deadline)) {
+    std::fprintf(stderr, "bad --deadline '%s' (number or 'adaptive')\n",
+                 FLAG_deadline.Get().c_str());
+    return 1;
+  }
+
   std::vector<std::int64_t> shard_counts;
   for (const std::string& part : Split(FLAG_shards.Get(), ',')) {
     std::int64_t k = 0;
@@ -204,8 +225,11 @@ int Main(int argc, char** argv) {
   }
 
   Stopwatch total;
-  const std::string figure = metric != nullptr ? "stream_throughput_road"
-                                               : "stream_throughput";
+  std::string figure = metric != nullptr ? "stream_throughput_road"
+                                         : "stream_throughput";
+  if (deadline_policy == svc::DeadlinePolicy::kAdaptive) {
+    figure += "_adaptive";
+  }
   std::string json = StrFormat(
       "{\n  \"figure\": \"%s\",\n  \"factor\": \"events\",\n"
       "  \"paper_scale\": false,\n  \"reps\": %lld,\n  \"seed\": %lld,\n"
@@ -230,16 +254,17 @@ int Main(int argc, char** argv) {
     const std::string label =
         StrFormat("%s@s%lld", scale.label.c_str(),
                   static_cast<long long>(shards));
-    std::printf("-- stream %s: |T|=%lld |W|=%lld deadline=%g shards=%lld --\n",
+    std::printf("-- stream %s: |T|=%lld |W|=%lld deadline=%s shards=%lld --\n",
                 scale.label.c_str(), static_cast<long long>(scale.num_tasks),
                 static_cast<long long>(scale.num_workers),
-                FLAG_deadline.Get(), static_cast<long long>(shards));
+                FLAG_deadline.Get().c_str(), static_cast<long long>(shards));
     json += StrFormat("%s    {\"label\": \"%s\", \"algorithms\": [\n",
                       first_case ? "" : ",\n", label.c_str());
     first_case = false;
     bool first_algo = true;
     for (const std::string& algorithm : algorithms) {
-      auto cell = RunCell(scale, shards, algorithm, metric);
+      auto cell = RunCell(scale, shards, algorithm, metric, deadline_policy,
+                          batch_deadline);
       if (!cell.ok()) {
         std::fprintf(stderr, "%s\n", cell.status().ToString().c_str());
         return 1;

@@ -20,6 +20,11 @@
 #include "model/problem.h"
 
 namespace ltc {
+
+namespace fcst {
+class ArrivalForecast;
+}  // namespace fcst
+
 namespace algo {
 
 /// Solver diagnostics accumulated during a run.
@@ -131,6 +136,23 @@ class OnlineScheduler {
   /// The shard identity of the current streaming run ({0, 1} for batch and
   /// unsharded streaming runs).
   const StreamShardContext& shard_context() const { return shard_context_; }
+
+  /// Gives this scheduler read access to the pipeline's online arrival
+  /// forecast (fcst/arrival_forecast.h; DESIGN.md §13) for the remainder of
+  /// the streaming run. The pointer is owned by the caller (the svc
+  /// pipeline), stays valid until the next Init*/Restore*, and may be null
+  /// (no forecast maintained — the fixed-deadline modes). Schedulers that
+  /// want predicted arrival rates read arrival_forecast(); the default
+  /// schedulers ignore it, so installing a forecast never changes their
+  /// commitments.
+  void InstallForecast(const fcst::ArrivalForecast* forecast) {
+    arrival_forecast_ = forecast;
+  }
+
+  /// The installed forecast, or null when none is maintained.
+  const fcst::ArrivalForecast* arrival_forecast() const {
+    return arrival_forecast_;
+  }
 
   /// Resets all state for a streaming run over `instance`, which the caller
   /// grows in place between calls (tasks via OnTaskAdded, workers before
@@ -264,6 +286,7 @@ class OnlineScheduler {
  private:
   StreamShardContext shard_context_{};
   bool shard_context_armed_ = false;
+  const fcst::ArrivalForecast* arrival_forecast_ = nullptr;
 };
 
 }  // namespace algo

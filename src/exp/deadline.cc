@@ -1,0 +1,210 @@
+#include "exp/deadline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/table.h"
+#include "exp/figures.h"
+#include "gen/foursquare.h"
+#include "gen/stream.h"
+#include "io/event_log.h"
+#include "sim/presets.h"
+#include "svc/serve_main.h"
+#include "svc/stream_engine.h"
+
+namespace ltc {
+namespace exp {
+
+namespace {
+
+/// One arrival mix: a label and a pure event-log factory.
+struct Mix {
+  std::string label;
+  std::function<StatusOr<io::EventLog>(std::uint64_t seed)> make;
+};
+
+/// One admission policy column of the report.
+struct Policy {
+  std::string name;
+  svc::DeadlinePolicy deadline_policy = svc::DeadlinePolicy::kFixed;
+  double batch_deadline = 0.0;
+};
+
+/// The hard cap shared by fixed-cap and adaptive, so the comparison
+/// isolates *where* inside the budget the flush lands.
+constexpr double kCap = 0.5;
+
+std::vector<Mix> BuildMixes(bool paper_scale) {
+  const double s = SuiteScale(paper_scale);
+  auto stream_base = [s](std::uint64_t seed) {
+    gen::StreamConfig cfg;
+    cfg.num_tasks = ScaledCount(500, s);
+    cfg.num_workers = ScaledCount(20000, s);
+    cfg.grid_side = 1000.0 * std::sqrt(s);
+    cfg.seed = seed;
+    return cfg;
+  };
+  std::vector<Mix> mixes;
+  mixes.push_back(
+      {"poisson", [stream_base](std::uint64_t seed) {
+         return gen::GenerateStreamEvents(stream_base(seed));
+       }});
+  mixes.push_back(
+      {"hotspot", [stream_base, s](std::uint64_t seed) {
+         gen::StreamConfig cfg = stream_base(seed);
+         cfg.num_hotspots = 3;
+         cfg.hotspot_stddev = 40.0 * std::sqrt(s);
+         return gen::GenerateStreamEvents(cfg);
+       }});
+  mixes.push_back(
+      {"foursquare", [paper_scale](std::uint64_t seed)
+                         -> StatusOr<io::EventLog> {
+         gen::FoursquareConfig cfg = sim::TableFiveNewYork();
+         cfg.scale = SuiteScale(paper_scale);
+         cfg.seed = seed;
+         LTC_ASSIGN_OR_RETURN(model::ProblemInstance instance,
+                              gen::GenerateFoursquareLike(cfg));
+         // Check-ins arrive chronologically at a Table-IV-like offered
+         // rate (400 workers per time unit), so the cap actually batches.
+         return io::EventLogFromInstance(instance,
+                                         /*worker_spacing=*/1.0 / 400.0);
+       }});
+  return mixes;
+}
+
+std::vector<Policy> BuildPolicies() {
+  return {{"fixed-0", svc::DeadlinePolicy::kFixed, 0.0},
+          {"fixed-cap", svc::DeadlinePolicy::kFixed, kCap},
+          {"adaptive", svc::DeadlinePolicy::kAdaptive, kCap}};
+}
+
+/// Per-(mix, policy) aggregate over reps.
+struct Cell {
+  double mean_assignment_latency = 0;
+  double p95_assignment_latency = 0;
+  double p99_assignment_latency = 0;
+  double completion_rate = 0;
+  double batches = 0;
+  double quiet_flushes = 0;
+  double deadline_extensions = 0;
+};
+
+}  // namespace
+
+StatusOr<std::string> RunDeadlineSuite(const SweepOptions& sweep,
+                                       const OutputOptions& output) {
+  std::vector<Mix> mixes = BuildMixes(sweep.paper_scale);
+  if (!sweep.case_filter.empty()) {
+    std::vector<Mix> kept;
+    for (Mix& mix : mixes) {
+      if (std::find(sweep.case_filter.begin(), sweep.case_filter.end(),
+                    mix.label) != sweep.case_filter.end()) {
+        kept.push_back(std::move(mix));
+      }
+    }
+    if (kept.empty()) {
+      return Status::InvalidArgument("deadline: --cases matched no mix");
+    }
+    mixes = std::move(kept);
+  }
+  std::vector<Policy> policies = BuildPolicies();
+  const auto reps = static_cast<std::size_t>(sweep.reps);
+
+  std::vector<Cell> cells(mixes.size() * policies.size());
+  for (std::size_t m = 0; m < mixes.size(); ++m) {
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      const std::uint64_t seed =
+          RepSeed(sweep.seed, static_cast<std::int64_t>(rep));
+      auto made = mixes[m].make(seed);
+      if (!made.ok()) return made.status().WithContext(mixes[m].label);
+      io::EventLog log = std::move(made).value();
+      for (std::size_t p = 0; p < policies.size(); ++p) {
+        svc::StreamOptions options;
+        options.algorithm = "LAF";
+        options.seed = seed;
+        options.validate = sweep.validate;
+        options.deadline_policy = policies[p].deadline_policy;
+        options.batch_deadline = policies[p].batch_deadline;
+        LTC_ASSIGN_OR_RETURN(svc::ServeReport report,
+                             svc::RunService(log, options));
+        const svc::StreamMetrics& metrics = report.metrics;
+        Cell& cell = cells[m * policies.size() + p];
+        const double n = static_cast<double>(reps);
+        cell.mean_assignment_latency += metrics.assignment_latency.mean / n;
+        cell.p95_assignment_latency += metrics.assignment_latency.p95 / n;
+        cell.p99_assignment_latency += metrics.assignment_latency.p99 / n;
+        cell.completion_rate +=
+            metrics.task_events > 0
+                ? static_cast<double>(metrics.tasks_completed) /
+                      static_cast<double>(metrics.task_events) / n
+                : 0.0;
+        cell.batches += static_cast<double>(metrics.batches) / n;
+        cell.quiet_flushes +=
+            static_cast<double>(metrics.quiet_flushes) / n;
+        cell.deadline_extensions +=
+            static_cast<double>(metrics.deadline_extensions) / n;
+      }
+    }
+  }
+
+  TablePrinter table({"mix", "policy", "completion", "mean lat", "p95 lat",
+                      "p99 lat", "batches", "quiet", "extended"});
+  for (std::size_t m = 0; m < mixes.size(); ++m) {
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      const Cell& cell = cells[m * policies.size() + p];
+      table.AddRow({mixes[m].label, policies[p].name,
+                    StrFormat("%.3f", cell.completion_rate),
+                    StrFormat("%.3f", cell.mean_assignment_latency),
+                    StrFormat("%.3f", cell.p95_assignment_latency),
+                    StrFormat("%.3f", cell.p99_assignment_latency),
+                    StrFormat("%.0f", cell.batches),
+                    StrFormat("%.0f", cell.quiet_flushes),
+                    StrFormat("%.0f", cell.deadline_extensions)});
+    }
+  }
+  if (output.print_tables) {
+    std::printf("\n-- deadline: adaptive vs fixed batching (cap %.2f) --\n%s",
+                kCap, table.Render().c_str());
+  }
+  LTC_RETURN_IF_ERROR(table.WriteCsv(output.out_dir + "/deadline.csv"));
+
+  // bench_compare-compatible summary: mixes are cases, policies are the
+  // algorithm records.
+  std::string json = "{\n  \"figure\": \"deadline\",\n";
+  json += "  \"factor\": \"mix\",\n";
+  json += StrFormat("  \"paper_scale\": %s,\n",
+                    sweep.paper_scale ? "true" : "false");
+  json += StrFormat("  \"reps\": %lld,\n", static_cast<long long>(sweep.reps));
+  json += StrFormat("  \"seed\": %llu,\n",
+                    static_cast<unsigned long long>(sweep.seed));
+  json += "  \"cases\": [\n";
+  for (std::size_t m = 0; m < mixes.size(); ++m) {
+    json += StrFormat("    {\"label\": \"%s\", \"algorithms\": [\n",
+                      mixes[m].label.c_str());
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      const Cell& cell = cells[m * policies.size() + p];
+      json += StrFormat(
+          "      {\"name\": \"%s\", \"mean_assignment_latency\": %.6f, "
+          "\"p95_assignment_latency\": %.6f, "
+          "\"p99_assignment_latency\": %.6f, \"completion_rate\": %.6f, "
+          "\"mean_batches\": %.1f, \"mean_quiet_flushes\": %.1f, "
+          "\"mean_deadline_extensions\": %.1f}%s\n",
+          policies[p].name.c_str(), cell.mean_assignment_latency,
+          cell.p95_assignment_latency, cell.p99_assignment_latency,
+          cell.completion_rate, cell.batches, cell.quiet_flushes,
+          cell.deadline_extensions,
+          p + 1 < policies.size() ? "," : "");
+    }
+    json += StrFormat("    ]}%s\n", m + 1 < mixes.size() ? "," : "");
+  }
+  json += "  ]\n}\n";
+  return json;
+}
+
+}  // namespace exp
+}  // namespace ltc

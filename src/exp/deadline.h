@@ -1,0 +1,29 @@
+// The adaptive-batching experiment (DESIGN.md §13): predicted vs fixed
+// flush deadlines on the streaming service, across three arrival mixes —
+// homogeneous Poisson, hotspot-clustered Poisson, and the Foursquare-like
+// check-in stream. Each policy replays the identical event log, so every
+// difference in the report is the admission policy, not the workload.
+
+#ifndef LTC_EXP_DEADLINE_H_
+#define LTC_EXP_DEADLINE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "exp/report.h"
+#include "exp/sweep.h"
+
+namespace ltc {
+namespace exp {
+
+/// Runs the deadline suite: cases {poisson, hotspot, foursquare} × policies
+/// {fixed-0, fixed-cap, adaptive} × reps. Emits the completion/latency
+/// table, a CSV, and the bench_compare-compatible JSON summary (figure
+/// "deadline") that BENCH_PR9.json pins.
+StatusOr<std::string> RunDeadlineSuite(const SweepOptions& sweep,
+                                       const OutputOptions& output);
+
+}  // namespace exp
+}  // namespace ltc
+
+#endif  // LTC_EXP_DEADLINE_H_

@@ -7,6 +7,7 @@
 #include "algo/mcf_ltc.h"
 #include "common/string_util.h"
 #include "common/table.h"
+#include "exp/deadline.h"
 #include "exp/extensions.h"
 #include "gen/foursquare.h"
 #include "gen/road.h"
@@ -412,6 +413,10 @@ std::vector<SuiteDef> BuildRegistry() {
                   "the full roster under road-network travel times "
                   "(congestion sweep)",
                   MakeRoadSuite, nullptr});
+  defs.push_back({"deadline", "",
+                  "adaptive (forecast-driven) vs fixed batching deadlines "
+                  "on the streaming service",
+                  nullptr, RunDeadlineSuite});
   defs.push_back({"lower_bound", "", "gap to the Theorem-2 lower bound",
                   nullptr, RunLowerBoundSuite});
   defs.push_back({"error_rate", "",

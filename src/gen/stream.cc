@@ -36,6 +36,15 @@ StatusOr<io::EventLog> GenerateStreamEvents(const StreamConfig& cfg) {
   if (cfg.accuracy_floor > cfg.accuracy_ceil) {
     return Status::InvalidArgument("stream: accuracy floor above ceiling");
   }
+  if (cfg.num_hotspots < 0) {
+    return Status::InvalidArgument("stream: num_hotspots must be >= 0");
+  }
+  if (cfg.num_hotspots > 0 &&
+      (cfg.hotspot_fraction < 0.0 || cfg.hotspot_fraction > 1.0 ||
+       !(cfg.hotspot_stddev > 0.0))) {
+    return Status::InvalidArgument(
+        "stream: hotspot_fraction outside [0, 1] or hotspot_stddev <= 0");
+  }
 
   Rng rng(cfg.seed);
   io::EventLog log;
@@ -43,6 +52,29 @@ StatusOr<io::EventLog> GenerateStreamEvents(const StreamConfig& cfg) {
   log.capacity = cfg.capacity;
   log.acc_min = cfg.acc_min;
   log.accuracy = std::make_shared<model::SigmoidDistanceAccuracy>(cfg.dmax);
+
+  // Hotspot centers are drawn before any arrival so the arrival draws are a
+  // fixed function of (seed, num_hotspots). With num_hotspots == 0 nothing
+  // is drawn here and DrawLocation consumes exactly the two uniforms the
+  // classic generator did — the default stream stays byte-identical.
+  std::vector<geo::Point> centers;
+  centers.reserve(static_cast<std::size_t>(cfg.num_hotspots));
+  for (std::int64_t i = 0; i < cfg.num_hotspots; ++i) {
+    centers.push_back({rng.Uniform(0.0, cfg.grid_side),
+                       rng.Uniform(0.0, cfg.grid_side)});
+  }
+  auto draw_location = [&]() -> geo::Point {
+    if (!centers.empty() && rng.Bernoulli(cfg.hotspot_fraction)) {
+      const geo::Point& c = centers[static_cast<std::size_t>(rng.UniformInt(
+          0, static_cast<std::int64_t>(centers.size()) - 1))];
+      return {Clamp(c.x + rng.Gaussian(0.0, cfg.hotspot_stddev), 0.0,
+                    cfg.grid_side),
+              Clamp(c.y + rng.Gaussian(0.0, cfg.hotspot_stddev), 0.0,
+                    cfg.grid_side)};
+    }
+    return {rng.Uniform(0.0, cfg.grid_side),
+            rng.Uniform(0.0, cfg.grid_side)};
+  };
 
   std::vector<Pending> pending;
   pending.reserve(static_cast<std::size_t>(cfg.num_tasks + cfg.num_workers));
@@ -58,8 +90,7 @@ StatusOr<io::EventLog> GenerateStreamEvents(const StreamConfig& cfg) {
     io::Event e;
     e.kind = io::Event::Kind::kTaskArrival;
     e.time = clock;
-    e.location = {rng.Uniform(0.0, cfg.grid_side),
-                  rng.Uniform(0.0, cfg.grid_side)};
+    e.location = draw_location();
     pending.push_back({e, seq++});
   }
   for (std::int64_t i = 0; i < cfg.num_tasks; ++i) {
@@ -69,8 +100,7 @@ StatusOr<io::EventLog> GenerateStreamEvents(const StreamConfig& cfg) {
     e.task = static_cast<model::TaskId>(i);
     e.time = task_times[static_cast<std::size_t>(i)] +
              rng.Exponential(cfg.task_rate);
-    e.location = {rng.Uniform(0.0, cfg.grid_side),
-                  rng.Uniform(0.0, cfg.grid_side)};
+    e.location = draw_location();
     pending.push_back({e, seq++});
   }
 
@@ -81,8 +111,7 @@ StatusOr<io::EventLog> GenerateStreamEvents(const StreamConfig& cfg) {
     io::Event e;
     e.kind = io::Event::Kind::kWorkerArrival;
     e.time = clock;
-    e.location = {rng.Uniform(0.0, cfg.grid_side),
-                  rng.Uniform(0.0, cfg.grid_side)};
+    e.location = draw_location();
     double acc;
     if (cfg.distribution == AccuracyDistribution::kNormal) {
       acc = rng.Gaussian(cfg.accuracy_mean, cfg.accuracy_stddev);

@@ -30,6 +30,14 @@ struct StreamConfig {
   /// Fraction of tasks that emit one later "m" relocation event to a fresh
   /// uniform location (0 disables; exercises GridIndex::Relocate).
   double move_fraction = 0.0;
+  /// Spatial hotspots: with num_hotspots > 0, each arrival location is drawn
+  /// near one of that many uniform hotspot centers (Gaussian with
+  /// hotspot_stddev, clamped into the world) with probability
+  /// hotspot_fraction, else uniformly. num_hotspots = 0 keeps the classic
+  /// all-uniform draw, byte-identical to earlier generator versions.
+  std::int64_t num_hotspots = 0;
+  double hotspot_fraction = 0.8;
+  double hotspot_stddev = 40.0;
   /// World + accuracy model (see gen/synthetic.h for semantics).
   double grid_side = 1000.0;
   double dmax = 30.0;

@@ -1,0 +1,78 @@
+// The grid *geometry* of a GridIndex, as a standalone value type.
+//
+// GridIndex (grid_index.h) couples two things: a fixed cell decomposition
+// of a world rectangle, and the point buckets living in it. Consumers that
+// only need the decomposition — the per-cell arrival-rate estimators of
+// src/fcst, and the occupancy accounting a 2-D shard rebalancer needs —
+// should not have to carry (or mutate) an index to ask "which cell is this
+// point in". CellGrid is that decomposition alone.
+//
+// The cell math is exactly GridIndex's: floor() cell coordinates, both
+// ends clamped into the grid extent, so out-of-bounds points land in the
+// boundary cells. A CellGrid built from the same (bounds, cell_size) as a
+// dynamic GridIndex therefore assigns every point the same flat cell the
+// index's own buckets use (tests/fcst_test.cc pins the clamp behaviour).
+
+#ifndef LTC_GEO_CELL_GRID_H_
+#define LTC_GEO_CELL_GRID_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "geo/point.h"
+#include "geo/rect.h"
+
+namespace ltc {
+namespace geo {
+
+/// \brief A fixed uniform-cell decomposition of a world rectangle.
+class CellGrid {
+ public:
+  /// A 1x1 grid (every point maps to cell 0) — the degenerate geometry a
+  /// consumer without spatial structure falls back to.
+  CellGrid() = default;
+
+  /// Covers `bounds` with square cells of side `cell_size` (> 0; a
+  /// non-positive size degenerates to the single cell).
+  CellGrid(const Rect& bounds, double cell_size) : bounds_(bounds) {
+    if (cell_size > 0.0) {
+      cell_size_ = cell_size;
+      cells_x_ = std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(
+                 std::ceil((bounds.max_x - bounds.min_x) / cell_size)));
+      cells_y_ = std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(
+                 std::ceil((bounds.max_y - bounds.min_y) / cell_size)));
+    }
+  }
+
+  std::int64_t cells_x() const { return cells_x_; }
+  std::int64_t cells_y() const { return cells_y_; }
+  std::int64_t num_cells() const { return cells_x_ * cells_y_; }
+
+  /// Flat cell index of `p` in [0, num_cells()). Out-of-bounds points clamp
+  /// into the boundary row/column, mirroring GridIndex.
+  std::int64_t CellOf(const Point& p) const {
+    const auto cx = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(
+            std::floor((p.x - bounds_.min_x) / cell_size_)),
+        0, cells_x_ - 1);
+    const auto cy = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(
+            std::floor((p.y - bounds_.min_y) / cell_size_)),
+        0, cells_y_ - 1);
+    return cy * cells_x_ + cx;
+  }
+
+ private:
+  Rect bounds_{0.0, 0.0, 1.0, 1.0};
+  double cell_size_ = 1.0;
+  std::int64_t cells_x_ = 1;
+  std::int64_t cells_y_ = 1;
+};
+
+}  // namespace geo
+}  // namespace ltc
+
+#endif  // LTC_GEO_CELL_GRID_H_

@@ -37,6 +37,18 @@ Flag<double> FLAG_move_fraction("move_fraction", 0.0,
                                 "relocate once mid-stream");
 Flag<double> FLAG_grid_side("grid_side", 1000.0,
                             "--synthetic: world side length");
+Flag<std::int64_t> FLAG_hotspots(
+    "hotspots", 0,
+    "--synthetic: number of spatial hotspot centers arrivals cluster "
+    "around (0 = the classic uniform world)");
+Flag<double> FLAG_hotspot_fraction(
+    "hotspot_fraction", 0.8,
+    "--synthetic --hotspots>0: fraction of arrivals drawn near a hotspot "
+    "instead of uniformly");
+Flag<double> FLAG_hotspot_stddev(
+    "hotspot_stddev", 40.0,
+    "--synthetic --hotspots>0: Gaussian spread of arrivals around their "
+    "hotspot center");
 Flag<std::string> FLAG_algo("algo", "LAF",
                             "online scheduler to serve with (LAF, AAM, "
                             "Random, MCF)");
@@ -51,9 +63,20 @@ Flag<std::int64_t> FLAG_mcf_drift_check_every(
     "mcf_drift_check_every", 0,
     "--scheduler=mcf: re-solve from scratch every Nth warm solve and "
     "CHECK-fail on divergence (0 = off)");
-Flag<double> FLAG_deadline("deadline", 0.0,
-                           "batching deadline in stream time units "
-                           "(0 = admit every worker immediately)");
+Flag<std::string> FLAG_deadline(
+    "deadline", "0",
+    "batching deadline in stream time units (0 = admit every worker "
+    "immediately), or 'adaptive': place each flush at the forecast's next "
+    "predicted useful arrival, capped at --deadline_cap (DESIGN.md "
+    "section 13)");
+Flag<double> FLAG_deadline_cap(
+    "deadline_cap", 0.5,
+    "--deadline=adaptive: hard upper bound on how long a batch may stay "
+    "open (stream time units)");
+Flag<double> FLAG_forecast_horizon(
+    "forecast_horizon", 8.0,
+    "--deadline=adaptive: EWMA time constant tau of the per-cell arrival "
+    "forecast (stream time units)");
 Flag<std::int64_t> FLAG_max_batch("max_batch", 0,
                                   "flush early at this many buffered "
                                   "workers (0 = unbounded)");
@@ -197,6 +220,10 @@ std::string RenderAssignmentLog(
       static_cast<long long>(options.max_batch),
       static_cast<unsigned long long>(options.seed), options.shards);
   // Non-default segments only — the default header bytes are unchanged.
+  if (options.deadline_policy == DeadlinePolicy::kAdaptive) {
+    out += StrFormat(" policy adaptive horizon %.17g",
+                     options.forecast_horizon);
+  }
   if (!metric_label.empty()) {
     out += StrFormat(" metric %s", metric_label.c_str());
   }
@@ -329,6 +356,10 @@ std::string ServeMetricsJson(const ServeReport& report,
                     static_cast<long long>(m.batches));
   json += StrFormat("  \"max_batch_size\": %lld,\n",
                     static_cast<long long>(m.max_batch_size));
+  json += StrFormat("  \"quiet_flushes\": %lld,\n",
+                    static_cast<long long>(m.quiet_flushes));
+  json += StrFormat("  \"deadline_extensions\": %lld,\n",
+                    static_cast<long long>(m.deadline_extensions));
   json += StrFormat("  \"assignments\": %lld,\n",
                     static_cast<long long>(m.assignments));
   json += StrFormat("  \"tasks_completed\": %lld,\n",
@@ -571,7 +602,28 @@ int ServeMain(int argc, char** argv, SocketServeFn socket_serve) {
                     s.c_str())));
     }
   }
-  options.batch_deadline = FLAG_deadline.Get();
+  if (FLAG_deadline.Get() == "adaptive") {
+    options.deadline_policy = DeadlinePolicy::kAdaptive;
+    options.batch_deadline = FLAG_deadline_cap.Get();
+    options.forecast_horizon = FLAG_forecast_horizon.Get();
+    if (!(options.batch_deadline > 0.0)) {
+      return FailConfig(Status::InvalidArgument(
+          "--deadline=adaptive requires a positive --deadline_cap"));
+    }
+    if (!(options.forecast_horizon > 0.0)) {
+      return FailConfig(Status::InvalidArgument(
+          "--deadline=adaptive requires a positive --forecast_horizon"));
+    }
+  } else {
+    double deadline = 0.0;
+    if (!ParseDouble(FLAG_deadline.Get(), &deadline)) {
+      return FailConfig(Status::InvalidArgument(StrFormat(
+          "--deadline must be a number of stream time units or 'adaptive' "
+          "(got '%s')",
+          FLAG_deadline.Get().c_str())));
+    }
+    options.batch_deadline = deadline;
+  }
   options.max_batch = FLAG_max_batch.Get();
   options.seed = static_cast<std::uint64_t>(FLAG_seed.Get());
   options.threads = static_cast<int>(FLAG_threads.Get());
@@ -623,6 +675,9 @@ int ServeMain(int argc, char** argv, SocketServeFn socket_serve) {
     cfg.worker_rate = FLAG_worker_rate.Get();
     cfg.move_fraction = FLAG_move_fraction.Get();
     cfg.grid_side = FLAG_grid_side.Get();
+    cfg.num_hotspots = FLAG_hotspots.Get();
+    cfg.hotspot_fraction = FLAG_hotspot_fraction.Get();
+    cfg.hotspot_stddev = FLAG_hotspot_stddev.Get();
     cfg.seed = static_cast<std::uint64_t>(FLAG_seed.Get());
     auto generated = gen::GenerateStreamEvents(cfg);
     if (!generated.ok()) return FailConfig(generated.status());

@@ -33,6 +33,8 @@ StreamPipeline::Config ShardConfig(const StreamOptions& options, int shard,
   StreamPipeline::Config config;
   config.algorithm = options.algorithm;
   config.batch_deadline = options.batch_deadline;
+  config.deadline_policy = options.deadline_policy;
+  config.forecast_horizon = options.forecast_horizon;
   config.max_batch = options.max_batch;
   config.seed = options.seed;
   config.shard_id = shard;
@@ -415,13 +417,11 @@ Status ShardedStreamEngine::HandleWorkerArrival(const io::Event& event) {
   for (int s = 0; s < num_shards(); ++s) {
     if (!route_flags_[static_cast<std::size_t>(s)]) continue;
     ++route_count;
-    bool hit_max_batch = false;
+    bool flush_now = false;
     LTC_RETURN_IF_ERROR(pipelines_[static_cast<std::size_t>(s)]->BufferWorker(
         global_index, event.location, event.accuracy, event.time,
-        &hit_max_batch));
-    if (hit_max_batch || options_.batch_deadline == 0.0) {
-      due.push_back(DueFlush{event.time, s});
-    }
+        &flush_now));
+    if (flush_now) due.push_back(DueFlush{event.time, s});
   }
   if (route_count > 1) {
     claims_.emplace(global_index, Claim{-1, route_count});
@@ -459,12 +459,12 @@ Status ShardedStreamEngine::FlushExpired(double now) {
   for (int s = 0; s < num_shards(); ++s) {
     const StreamPipeline& p = *pipelines_[static_cast<std::size_t>(s)];
     if (!p.has_open_batch()) continue;
-    if (now - p.batch_open_time() >= options_.batch_deadline) {
-      // Commit at the instant the deadline ran out, not at whichever event
-      // happened to arrive next (same rule as the single-pipeline engine).
-      due.push_back(
-          DueFlush{p.batch_open_time() + options_.batch_deadline, s});
-    }
+    // Commit at the instant the batch fell due, not at whichever event
+    // happened to arrive next (same rule as the single-pipeline engine).
+    // The pipeline owns its flush instant — fixed deadline or the
+    // forecast-positioned adaptive one.
+    const double flush_time = p.batch_flush_time();
+    if (now >= flush_time) due.push_back(DueFlush{flush_time, s});
   }
   if (due.empty()) return Status::OK();
   return RunRound(std::move(due));
@@ -598,7 +598,7 @@ StatusOr<StreamMetrics> ShardedStreamEngine::Finish() {
     const StreamPipeline& p = *pipelines_[static_cast<std::size_t>(s)];
     if (!p.has_open_batch()) continue;
     // The service waits out the deadline for the final stragglers.
-    due.push_back(DueFlush{p.batch_open_time() + options_.batch_deadline, s});
+    due.push_back(DueFlush{p.batch_flush_time(), s});
     end_time = std::max(end_time, due.back().time);
   }
   LTC_RETURN_IF_ERROR(RunRound(std::move(due)));
@@ -645,6 +645,8 @@ StatusOr<StreamMetrics> ShardedStreamEngine::Finish() {
     metrics_.open_tasks += pipeline->open_tasks();
     metrics_.routed_workers += pipeline->routed_workers();
     metrics_.route_travel_time += pipeline->route_travel_time();
+    metrics_.quiet_flushes += pipeline->quiet_flushes();
+    metrics_.deadline_extensions += pipeline->deadline_extensions();
     const auto* a = pipeline->mutable_assignment_latency_samples();
     assignment_samples.insert(assignment_samples.end(), a->begin(), a->end());
     const auto* c = pipeline->mutable_completion_latency_samples();

@@ -42,6 +42,15 @@ StatusOr<std::unique_ptr<algo::OnlineScheduler>> MakePipelineScheduler(
   if (!(config.batch_deadline >= 0.0)) {
     return Status::InvalidArgument("batch_deadline must be >= 0");
   }
+  if (config.deadline_policy == DeadlinePolicy::kAdaptive) {
+    if (!(config.batch_deadline > 0.0)) {
+      return Status::InvalidArgument(
+          "adaptive deadline policy needs a positive cap (batch_deadline)");
+    }
+    if (!(config.forecast_horizon > 0.0)) {
+      return Status::InvalidArgument("forecast_horizon must be > 0");
+    }
+  }
   if (config.max_batch < 0) {
     return Status::InvalidArgument("max_batch must be >= 0");
   }
@@ -88,7 +97,25 @@ StatusOr<std::unique_ptr<StreamPipeline>> StreamPipeline::Create(
                                                 *config.cell_size));
     pipeline->grid_.emplace(std::move(grid));
   }
+  LTC_RETURN_IF_ERROR(pipeline->InitForecast());
   return pipeline;
+}
+
+Status StreamPipeline::InitForecast() {
+  if (config_.deadline_policy != DeadlinePolicy::kAdaptive) {
+    return Status::OK();
+  }
+  fcst::CellRateEstimator::Config fc;
+  // Same cell decomposition as the incremental task index; models without
+  // spatial structure fall back to one global rate cell.
+  if (config_.cell_size.has_value()) {
+    fc.grid = geo::CellGrid(config_.world, *config_.cell_size);
+  }
+  fc.horizon = config_.forecast_horizon;
+  LTC_ASSIGN_OR_RETURN(auto estimator, fcst::CellRateEstimator::Create(fc));
+  forecast_.emplace(std::move(estimator));
+  scheduler_->InstallForecast(&*forecast_);
+  return Status::OK();
 }
 
 Status StreamPipeline::SerializeTo(std::string* out) const {
@@ -159,6 +186,22 @@ Status StreamPipeline::SerializeTo(std::string* out) const {
                               s.location.y));
       }
     }
+  }
+  // Adaptive-deadline state likewise rides along only when the policy is
+  // on, so fixed-mode snapshot bytes are unchanged. The forecast blob and
+  // the open batch's flush instant are schedule inputs: a restored service
+  // must predict — and therefore flush — exactly as the uninterrupted one
+  // would (DESIGN.md §13).
+  if (config_.deadline_policy == DeadlinePolicy::kAdaptive) {
+    std::string blob;
+    LTC_RETURN_IF_ERROR(forecast_->SerializeTo(&blob));
+    const auto blob_lines =
+        static_cast<std::int64_t>(std::count(blob.begin(), blob.end(), '\n'));
+    out->append(StrFormat("pfcst %lld\n", static_cast<long long>(blob_lines)));
+    out->append(blob);
+    out->append(StrFormat("pdl %.17g %lld %lld\n", batch_flush_time_,
+                          static_cast<long long>(quiet_flushes_),
+                          static_cast<long long>(deadline_extensions_)));
   }
   out->append("endpipe\n");
   return Status::OK();
@@ -321,6 +364,26 @@ StatusOr<std::unique_ptr<StreamPipeline>> StreamPipeline::Restore(
                                         static_cast<std::size_t>(visited)));
     }
   }
+  if (config.deadline_policy == DeadlinePolicy::kAdaptive) {
+    LTC_RETURN_IF_ERROR(pipeline->InitForecast());
+    LTC_RETURN_IF_ERROR(reader->Read("pfcst", 2, &f));
+    std::int64_t blob_lines = 0;
+    LTC_RETURN_IF_ERROR(snap::FieldI64(f, 1, &blob_lines));
+    std::string blob;
+    for (std::int64_t i = 0; i < blob_lines; ++i) {
+      std::string line;
+      LTC_RETURN_IF_ERROR(reader->ReadRaw(&line));
+      blob += line;
+      blob += '\n';
+    }
+    LTC_RETURN_IF_ERROR(pipeline->forecast_->RestoreFrom(blob));
+    LTC_RETURN_IF_ERROR(reader->Read("pdl", 4, &f));
+    LTC_RETURN_IF_ERROR(
+        snap::FieldDouble(f, 1, &pipeline->batch_flush_time_));
+    LTC_RETURN_IF_ERROR(snap::FieldI64(f, 2, &pipeline->quiet_flushes_));
+    LTC_RETURN_IF_ERROR(
+        snap::FieldI64(f, 3, &pipeline->deadline_extensions_));
+  }
   LTC_RETURN_IF_ERROR(reader->Read("endpipe", 1, &f));
 
   // Derived state. open_ follows from the restored arrangement (a task is
@@ -365,6 +428,7 @@ StatusOr<model::TaskId> StreamPipeline::AddTask(model::TaskId global_id,
   if (grid_.has_value()) {
     LTC_RETURN_IF_ERROR(grid_->Insert(id, location));
   }
+  if (forecast_.has_value()) forecast_->OnTaskArrival(location, time);
   LTC_RETURN_IF_ERROR(scheduler_->OnTaskAdded(id));
   return id;
 }
@@ -386,8 +450,8 @@ Status StreamPipeline::MoveTask(model::TaskId local_id,
 Status StreamPipeline::BufferWorker(model::WorkerIndex global_index,
                                     const geo::Point& location,
                                     double accuracy, double time,
-                                    bool* hit_max_batch) {
-  *hit_max_batch = false;
+                                    bool* flush_now) {
+  *flush_now = false;
   model::Worker worker;
   worker.index = static_cast<model::WorkerIndex>(instance_.num_workers() + 1);
   worker.location = location;
@@ -395,11 +459,44 @@ Status StreamPipeline::BufferWorker(model::WorkerIndex global_index,
   instance_.workers.push_back(worker);
   worker_global_.push_back(global_index);
 
-  if (batch_.empty()) batch_open_time_ = time;
+  const bool opened = batch_.empty();
+  if (opened) batch_open_time_ = time;
   batch_.push_back(worker.index);
-  *hit_max_batch =
+  const bool hit_max =
       config_.max_batch > 0 &&
       static_cast<std::int64_t>(batch_.size()) >= config_.max_batch;
+
+  if (config_.deadline_policy == DeadlinePolicy::kAdaptive) {
+    // Record the arrival first: the prediction for the cell's *next*
+    // arrival conditions on everything seen so far, this worker included.
+    forecast_->OnWorkerArrival(location, time);
+    if (hit_max) {
+      *flush_now = true;
+      return Status::OK();
+    }
+    const double cap_end = batch_open_time_ + config_.batch_deadline;
+    const double rate = forecast_->WorkerRate(location, time);
+    // Expected wait to the next worker arrival in this cell (1/rate); a
+    // prediction at or past the cap means holding buys nothing — flush at
+    // this arrival's instant (quiet cell). Otherwise position the flush at
+    // the predicted instant, only ever extending (an early prediction
+    // never retracts a later one) and never past the cap.
+    const double target = rate > 0.0 ? time + 1.0 / rate : cap_end;
+    if (!(target < cap_end)) {
+      ++quiet_flushes_;
+      *flush_now = true;
+      return Status::OK();
+    }
+    if (opened) {
+      batch_flush_time_ = target;
+    } else if (target > batch_flush_time_) {
+      batch_flush_time_ = target;
+      ++deadline_extensions_;
+    }
+    return Status::OK();
+  }
+
+  *flush_now = hit_max || config_.batch_deadline == 0.0;
   return Status::OK();
 }
 
@@ -623,6 +720,8 @@ StatusOr<std::unique_ptr<StreamEngine>> StreamEngine::Create(
   StreamPipeline::Config config;
   config.algorithm = options.algorithm;
   config.batch_deadline = options.batch_deadline;
+  config.deadline_policy = options.deadline_policy;
+  config.forecast_horizon = options.forecast_horizon;
   config.max_batch = options.max_batch;
   config.seed = options.seed;
   config.world = options.world;
@@ -677,13 +776,11 @@ Status StreamEngine::HandleTaskArrival(const io::Event& event) {
 
 Status StreamEngine::HandleWorkerArrival(const io::Event& event) {
   ++metrics_.worker_events;
-  bool hit_max_batch = false;
+  bool flush_now = false;
   LTC_RETURN_IF_ERROR(pipeline_->BufferWorker(
       static_cast<model::WorkerIndex>(instance().num_workers() + 1),
-      event.location, event.accuracy, event.time, &hit_max_batch));
-  if (hit_max_batch || options_.batch_deadline == 0.0) {
-    return FlushBatch(event.time);
-  }
+      event.location, event.accuracy, event.time, &flush_now));
+  if (flush_now) return FlushBatch(event.time);
   return Status::OK();
 }
 
@@ -701,11 +798,12 @@ Status StreamEngine::HandleTaskMove(const io::Event& event) {
 
 Status StreamEngine::FlushExpired(double now) {
   if (!pipeline_->has_open_batch()) return Status::OK();
-  if (now - pipeline_->batch_open_time() >= options_.batch_deadline) {
-    // The service would have flushed the moment the deadline ran out, not
-    // when the next event happened to arrive — commit at that instant.
-    return FlushBatch(pipeline_->batch_open_time() + options_.batch_deadline);
-  }
+  // The service would have flushed the moment the deadline ran out, not
+  // when the next event happened to arrive — commit at that instant. The
+  // pipeline owns the instant: open time + the fixed deadline, or the
+  // forecast-positioned time under the adaptive policy.
+  const double flush_time = pipeline_->batch_flush_time();
+  if (now >= flush_time) return FlushBatch(flush_time);
   return Status::OK();
 }
 
@@ -751,8 +849,7 @@ StatusOr<StreamMetrics> StreamEngine::Finish() {
   double end_time = last_event_time_;
   if (pipeline_->has_open_batch()) {
     // The service waits out the deadline for the final stragglers.
-    const double final_flush =
-        pipeline_->batch_open_time() + options_.batch_deadline;
+    const double final_flush = pipeline_->batch_flush_time();
     end_time = std::max(end_time, final_flush);
     LTC_RETURN_IF_ERROR(FlushBatch(final_flush));
   }
@@ -785,6 +882,8 @@ StatusOr<StreamMetrics> StreamEngine::Finish() {
   metrics_.max_batch_size = pipeline_->max_batch_size();
   metrics_.tasks_completed = pipeline_->tasks_completed();
   metrics_.open_tasks = pipeline_->open_tasks();
+  metrics_.quiet_flushes = pipeline_->quiet_flushes();
+  metrics_.deadline_extensions = pipeline_->deadline_extensions();
   metrics_.shards = 1;
   metrics_.assignment_latency =
       sim::SummarizeLatencies(pipeline_->mutable_assignment_latency_samples());

@@ -37,6 +37,7 @@
 #include "algo/scheduler.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "fcst/arrival_forecast.h"
 #include "geo/grid_index.h"
 #include "geo/metric.h"
 #include "geo/rect.h"
@@ -49,6 +50,22 @@
 namespace ltc {
 namespace svc {
 
+/// How the batching deadline of an open micro-batch is chosen.
+enum class DeadlinePolicy {
+  /// Every batch flushes exactly batch_deadline after it opens (the classic
+  /// PR-4 behaviour).
+  kFixed,
+  /// Prediction-driven admission (DESIGN.md §13): batch_deadline becomes a
+  /// hard latency cap, and the per-cell arrival forecast the pipeline
+  /// maintains (fcst/arrival_forecast.h) positions the flush inside it —
+  /// each buffered arrival extends the open batch's flush to its predicted
+  /// next-arrival instant (never past the cap), and a quiet cell (expected
+  /// wait beyond the cap) flushes the batch immediately. Flush times are a
+  /// pure function of the event prefix, so the determinism contract — and
+  /// the recovery contract, with forecast state snapshotted — survives.
+  kAdaptive,
+};
+
 /// Service configuration.
 struct StreamOptions {
   /// Online scheduler driven per admitted worker ("LAF", "AAM", "Random"),
@@ -58,8 +75,15 @@ struct StreamOptions {
   /// A batch flushes once its oldest buffered worker has waited this long
   /// (stream time units). 0 admits every worker immediately — per-arrival
   /// admission, the RunOnline-equivalent setting. Larger deadlines trade
-  /// worker waiting time for richer per-batch context.
+  /// worker waiting time for richer per-batch context. Under
+  /// DeadlinePolicy::kAdaptive this is the hard cap (must be > 0).
   double batch_deadline = 0.0;
+  /// Deadline policy (kAdaptive = forecast-driven flushes; --deadline=
+  /// adaptive in ltc_serve).
+  DeadlinePolicy deadline_policy = DeadlinePolicy::kFixed;
+  /// kAdaptive only: EWMA time constant of the arrival forecast, in stream
+  /// time units (fcst::CellRateEstimator::Config::horizon).
+  double forecast_horizon = 8.0;
   /// Flush early when this many workers are buffered (0 = unbounded).
   std::int64_t max_batch = 0;
   /// Seed forwarded to seeded algorithms (Random). Never derived from
@@ -149,6 +173,12 @@ struct StreamMetrics {
   std::int64_t routed_workers = 0;
   /// route_workers mode: total metric travel time over all routes.
   double route_travel_time = 0.0;
+  /// Adaptive-deadline mode: batches flushed at an arrival instant because
+  /// the local forecast predicted no useful arrival within the cap.
+  std::int64_t quiet_flushes = 0;
+  /// Adaptive-deadline mode: buffered arrivals that extended an already
+  /// open batch's flush instant.
+  std::int64_t deadline_extensions = 0;
   /// Commit time minus assigned task's arrival time, per assignment.
   sim::LatencySummary assignment_latency;
   /// Completing commit time minus arrival time, per completed task.
@@ -186,6 +216,11 @@ class StreamPipeline {
   struct Config {
     std::string algorithm = "LAF";
     double batch_deadline = 0.0;
+    /// Deadline policy + forecast horizon (see StreamOptions). Under
+    /// kAdaptive the pipeline maintains a fcst::CellRateEstimator over the
+    /// grid geometry below and owns its batch's flush instant.
+    DeadlinePolicy deadline_policy = DeadlinePolicy::kFixed;
+    double forecast_horizon = 8.0;
     std::int64_t max_batch = 0;
     std::uint64_t seed = 42;
     /// Shard identity forwarded to the scheduler ({0, 1} when unsharded).
@@ -235,16 +270,26 @@ class StreamPipeline {
   /// Relocates local task `local_id` (grid update only while it is open).
   Status MoveTask(model::TaskId local_id, const geo::Point& location);
   /// Appends the worker (global arrival index `global_index`) and buffers
-  /// it into the open batch. *hit_max_batch reports that the batch reached
-  /// config.max_batch and must flush now.
+  /// it into the open batch. *flush_now reports that the batch must flush
+  /// at this arrival's instant: it reached config.max_batch, the fixed
+  /// deadline is 0 (per-arrival admission), or — adaptive policy — the
+  /// forecast predicts no useful arrival within the cap (quiet cell).
   Status BufferWorker(model::WorkerIndex global_index,
                       const geo::Point& location, double accuracy,
-                      double time, bool* hit_max_batch);
+                      double time, bool* flush_now);
 
   // --- Open-batch inspection ---
 
   bool has_open_batch() const { return !batch_.empty(); }
   double batch_open_time() const { return batch_open_time_; }
+  /// The instant the open batch is due to flush: open time + the fixed
+  /// deadline, or — adaptive policy — the forecast-positioned instant
+  /// (open time + cap at most). Meaningful only while has_open_batch().
+  double batch_flush_time() const {
+    return config_.deadline_policy == DeadlinePolicy::kAdaptive
+               ? batch_flush_time_
+               : batch_open_time_ + config_.batch_deadline;
+  }
   std::size_t batch_size() const { return batch_.size(); }
   model::WorkerIndex batch_global_worker(std::size_t i) const {
     return worker_global_[static_cast<std::size_t>(batch_[i]) - 1];
@@ -305,6 +350,14 @@ class StreamPipeline {
   std::int64_t batches() const { return batches_; }
   std::int64_t max_batch_size() const { return max_batch_size_; }
   std::int64_t tasks_completed() const { return tasks_completed_; }
+  /// Adaptive-deadline mode counters (0 under kFixed).
+  std::int64_t quiet_flushes() const { return quiet_flushes_; }
+  std::int64_t deadline_extensions() const { return deadline_extensions_; }
+  /// The pipeline's arrival forecast (null under kFixed). Also installed
+  /// into the scheduler via algo::OnlineScheduler::InstallForecast.
+  const fcst::ArrivalForecast* forecast() const {
+    return forecast_.has_value() ? &*forecast_ : nullptr;
+  }
   std::int64_t open_tasks() const;
   /// Distinct (local) workers holding at least one assignment.
   std::int64_t workers_used() const;
@@ -323,6 +376,12 @@ class StreamPipeline {
 
  private:
   explicit StreamPipeline(const Config& config) : config_(config) {}
+
+  /// Adaptive policy only: builds the cell-rate estimator over the grid
+  /// geometry and installs it into the scheduler (no-op under kFixed).
+  /// Create and Restore both route through this so a restored pipeline
+  /// forecasts identically.
+  Status InitForecast();
 
   /// Marks completed-but-open tasks of `assigned` (local ids) closed.
   void CloseCompleted(const std::vector<model::TaskId>& assigned,
@@ -359,6 +418,14 @@ class StreamPipeline {
   // Open batch: local worker indices of buffered arrivals.
   std::vector<model::WorkerIndex> batch_;
   double batch_open_time_ = 0.0;
+  // Adaptive-deadline state (engaged only under DeadlinePolicy::kAdaptive;
+  // DESIGN.md §13). batch_flush_time_ is the open batch's current flush
+  // instant, repositioned per buffered arrival and capped at
+  // batch_open_time_ + batch_deadline.
+  std::optional<fcst::CellRateEstimator> forecast_;
+  double batch_flush_time_ = 0.0;
+  std::int64_t quiet_flushes_ = 0;
+  std::int64_t deadline_extensions_ = 0;
 
   std::vector<std::vector<model::TaskId>> gather_slots_;
   std::vector<model::TaskId> assigned_scratch_;

@@ -215,6 +215,58 @@ TEST(CrashRecoveryTest, RandomizedCrashPointsRecoverByteIdentical) {
   EXPECT_GE(crashes, 50);
 }
 
+// The adaptive deadline's forecast state travels in the snapshot and the
+// WAL replay re-derives the rest (DESIGN.md §13), so a crash-recovered
+// adaptive service forecasts — and therefore flushes and assigns —
+// byte-identically to an uninterrupted one.
+TEST(CrashRecoveryTest, AdaptiveDeadlineRecoversByteIdentical) {
+  gen::StreamConfig cfg;
+  cfg.num_tasks = 50;
+  cfg.num_workers = 1000;
+  cfg.num_hotspots = 3;  // exercise extensions, not just quiet flushes
+  cfg.seed = 29;
+  auto generated = gen::GenerateStreamEvents(cfg);
+  generated.status().CheckOK();
+  const io::EventLog log = std::move(generated).value();
+  const std::int64_t n = log.num_events();
+
+  for (int shards : {1, 3}) {
+    StreamOptions options = BaseOptions("LAF", shards);
+    options.deadline_policy = DeadlinePolicy::kAdaptive;
+    const std::string tag = "adaptive_s" + std::to_string(shards);
+    const std::string golden = GoldenLog(log, options, "golden_" + tag);
+    EXPECT_NE(golden.find("policy adaptive"), std::string::npos);
+
+    for (const std::int64_t crash_at : {n / 3, n / 2, (4 * n) / 5}) {
+      const std::string dir =
+          FreshDir("crash_" + tag + "_" + std::to_string(crash_at));
+      const auto sopts = ServiceOptions(dir, options, 97, 16);
+      {
+        auto service = RecoverableService::Open(log, sopts);
+        service.status().CheckOK();
+        for (std::int64_t i = 0; i < crash_at; ++i) {
+          service.value()->Ingest(log.events[static_cast<std::size_t>(i)])
+              .CheckOK();
+        }
+        // Crash: destructor drops the unflushed group-commit window.
+      }
+      auto service = RecoverableService::Open(log, sopts);
+      ASSERT_TRUE(service.ok()) << tag << " crash@" << crash_at << ": "
+                                << service.status().ToString();
+      EXPECT_TRUE(service.value()->recovery().recovered);
+      for (std::int64_t i = service.value()->events_applied(); i < n; ++i) {
+        service.value()->Ingest(log.events[static_cast<std::size_t>(i)])
+            .CheckOK();
+      }
+      auto metrics = service.value()->Finish();
+      metrics.status().CheckOK();
+      const std::string recovered_log = RenderAssignmentLog(
+          options, service.value()->assignments(), metrics.value());
+      EXPECT_EQ(recovered_log, golden) << tag << " crash@" << crash_at;
+    }
+  }
+}
+
 // A torn final WAL record (partial write at crash) is truncated on reopen;
 // the stream continues to the golden log.
 TEST(CrashRecoveryTest, TornWalTailIsTruncatedAndRecovered) {

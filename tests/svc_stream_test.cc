@@ -213,6 +213,54 @@ TEST(ServeDeterminismTest, AssignmentLogIdenticalAcrossThreadCounts) {
   }
 }
 
+// The adaptive deadline policy (DESIGN.md §13) must keep the determinism
+// contract — byte-identical assignment logs for any --threads, per shard
+// count — while actually exercising both sides of the forecast's wager
+// (quiet-cell immediate flushes AND hot-cell extensions).
+TEST(ServeDeterminismTest, AdaptiveDeadlineLogIdenticalAcrossThreadCounts) {
+  gen::StreamConfig cfg = SmallStream(91);
+  cfg.num_hotspots = 3;
+  auto log = gen::GenerateStreamEvents(cfg);
+  ASSERT_TRUE(log.ok());
+
+  for (int shards : {1, 2}) {
+    StreamOptions options;
+    options.algorithm = "LAF";
+    options.deadline_policy = DeadlinePolicy::kAdaptive;
+    options.batch_deadline = 0.5;  // the hard cap
+    options.seed = 123;
+    options.shards = shards;
+
+    options.threads = 1;
+    auto one = RunService(log.value(), options);
+    ASSERT_TRUE(one.ok()) << one.status().ToString();
+    options.threads = 4;
+    auto four = RunService(log.value(), options);
+    ASSERT_TRUE(four.ok()) << four.status().ToString();
+
+    EXPECT_EQ(one.value().assignment_log, four.value().assignment_log)
+        << "shards " << shards;
+    // The adaptive configuration is recorded in the log header, so a log
+    // can never be mistaken for a fixed-deadline run's.
+    EXPECT_NE(one.value().assignment_log.find("policy adaptive"),
+              std::string::npos);
+    EXPECT_GT(one.value().metrics.quiet_flushes, 0) << "shards " << shards;
+    EXPECT_GT(one.value().metrics.deadline_extensions, 0)
+        << "shards " << shards;
+    EXPECT_GT(one.value().metrics.assignments, 0) << "shards " << shards;
+  }
+}
+
+TEST(StreamEngineTest, AdaptivePolicyRequiresPositiveCap) {
+  auto log = gen::GenerateStreamEvents(SmallStream(2));
+  ASSERT_TRUE(log.ok());
+  StreamOptions options;
+  options.algorithm = "LAF";
+  options.deadline_policy = DeadlinePolicy::kAdaptive;
+  options.batch_deadline = 0.0;
+  EXPECT_TRUE(RunService(log.value(), options).status().IsInvalidArgument());
+}
+
 TEST(StreamEngineTest, RejectsOfflineSchedulersAndBadEvents) {
   auto log = gen::GenerateStreamEvents(SmallStream(2));
   ASSERT_TRUE(log.ok());

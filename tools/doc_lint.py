@@ -1,0 +1,300 @@
+#!/usr/bin/env python3
+"""Documentation lint: keep the docs and the code pointing at each other.
+
+Three checks, all mechanical, all run in CI (see .github/workflows/ci.yml):
+
+1. **Section citations.** Every ``DESIGN.md §N`` / ``DESIGN.md section N``
+   citation in sources and docs must name a section heading that actually
+   exists in DESIGN.md (``## §N ...``). A renumbered or deleted section
+   fails the build instead of leaving dangling references.
+
+2. **Relative markdown links.** Every intra-repo link target in the
+   checked markdown files must exist on disk (fragments stripped;
+   external http(s) links are out of scope).
+
+3. **Flag tables.** Every command-line flag defined by ``ltc_serve``
+   (src/svc/serve_main.cc) must appear in README.md's operator flag
+   table, and every flag the bench drivers define (bench_suite,
+   bench_stream_throughput) must appear somewhere in README.md — so the
+   documented operator surface cannot silently drift from the binaries.
+
+Usage:
+    tools/doc_lint.py [--root REPO_ROOT]
+    tools/doc_lint.py --selftest
+
+Exit status 0 when clean, 1 with one line per finding otherwise.
+No third-party dependencies.
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+# Source trees scanned for DESIGN.md citations.
+SOURCE_DIRS = ["src", "tests", "bench", "examples", "tools"]
+SOURCE_EXTS = (".h", ".cc", ".py")
+
+# Markdown files whose citations and relative links are checked.
+MARKDOWN_FILES = ["README.md", "DESIGN.md", "ROADMAP.md", "src/io/README.md"]
+
+# Flag-definition sources and where their flags must be documented.
+SERVE_MAIN = "src/svc/serve_main.cc"
+BENCH_FLAG_SOURCES = ["src/exp/suite_main.cc", "bench/bench_stream_throughput.cc"]
+
+HEADING_RE = re.compile(r"^#{2,3}\s+§(\d+)", re.M)
+CITATION_RE = re.compile(r"DESIGN\.md\s+(?:§|section\s+)(\d+)")
+# Matches `Flag<T> FLAG_name("flag_name", ...)`; the string literal may
+# wrap to the next line after the opening parenthesis.
+FLAG_DEF_RE = re.compile(r'Flag<[^>]+>\s+\w+\(\s*"([A-Za-z0-9_]+)"')
+MD_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def read(path):
+    with open(path, encoding="utf-8") as f:
+        return f.read()
+
+
+def design_sections(design_text):
+    """Section numbers defined by ``## §N`` / ``### §N`` headings."""
+    return {int(m) for m in HEADING_RE.findall(design_text)}
+
+
+def iter_source_files(root):
+    for d in SOURCE_DIRS:
+        top = os.path.join(root, d)
+        if not os.path.isdir(top):
+            continue
+        for dirpath, _, names in os.walk(top):
+            for name in sorted(names):
+                if name.endswith(SOURCE_EXTS):
+                    yield os.path.join(dirpath, name)
+    for name in MARKDOWN_FILES:
+        path = os.path.join(root, name)
+        if os.path.isfile(path):
+            yield path
+
+
+def check_citations(root, sections):
+    """Every DESIGN.md §N citation must resolve to a real section."""
+    errors = []
+    for path in iter_source_files(root):
+        text = read(path)
+        for lineno, line in enumerate(text.splitlines(), 1):
+            for cited in CITATION_RE.findall(line):
+                if int(cited) not in sections:
+                    rel = os.path.relpath(path, root)
+                    errors.append(
+                        "%s:%d: cites DESIGN.md §%s but DESIGN.md has no "
+                        "such section (have: %s)"
+                        % (rel, lineno, cited,
+                           ", ".join("§%d" % s for s in sorted(sections)))
+                    )
+    return errors
+
+
+def check_markdown_links(root):
+    """Relative link targets in the checked markdown files must exist."""
+    errors = []
+    for name in MARKDOWN_FILES:
+        path = os.path.join(root, name)
+        if not os.path.isfile(path):
+            errors.append("%s: checked markdown file is missing" % name)
+            continue
+        base = os.path.dirname(path)
+        for lineno, line in enumerate(read(path).splitlines(), 1):
+            for target in MD_LINK_RE.findall(line):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                rel_target = target.split("#", 1)[0]
+                if not rel_target:
+                    continue
+                if not os.path.exists(os.path.join(base, rel_target)):
+                    errors.append(
+                        "%s:%d: link target '%s' does not exist"
+                        % (name, lineno, target)
+                    )
+    return errors
+
+
+def defined_flags(source_text):
+    """Flag names defined via the Flag<T> registry in a C++ source."""
+    return sorted(set(FLAG_DEF_RE.findall(source_text)))
+
+
+def flag_table_section(readme_text):
+    """The ltc_serve operator flag table's text (to end of its section)."""
+    match = re.search(r"^### ltc_serve operator flags$", readme_text, re.M)
+    if match is None:
+        return None
+    rest = readme_text[match.end():]
+    nxt = re.search(r"^#{1,3}\s", rest, re.M)
+    return rest[: nxt.start()] if nxt else rest
+
+
+def check_flags(root):
+    """Every binary-defined flag must be documented in README.md."""
+    errors = []
+    readme = read(os.path.join(root, "README.md"))
+
+    table = flag_table_section(readme)
+    if table is None:
+        errors.append(
+            "README.md: missing '### ltc_serve operator flags' section")
+        table = ""
+    for flag in defined_flags(read(os.path.join(root, SERVE_MAIN))):
+        if "`--%s`" % flag not in table:
+            errors.append(
+                "README.md: ltc_serve flag --%s (defined in %s) is missing "
+                "from the operator flag table" % (flag, SERVE_MAIN)
+            )
+
+    for source in BENCH_FLAG_SOURCES:
+        for flag in defined_flags(read(os.path.join(root, source))):
+            if "--%s" % flag not in readme:
+                errors.append(
+                    "README.md: bench flag --%s (defined in %s) is not "
+                    "documented anywhere in README.md" % (flag, source)
+                )
+    return errors
+
+
+def run_checks(root):
+    design_path = os.path.join(root, "DESIGN.md")
+    errors = []
+    if not os.path.isfile(design_path):
+        errors.append("DESIGN.md: missing")
+        sections = set()
+    else:
+        sections = design_sections(read(design_path))
+        if not sections:
+            errors.append("DESIGN.md: no '## §N' section headings found")
+    errors += check_citations(root, sections)
+    errors += check_markdown_links(root)
+    errors += check_flags(root)
+    return errors
+
+
+# ---------------------------------------------------------------------------
+# Selftest: the lint's own unit checks, run against a synthetic repo.
+
+
+def expect(condition, label, failures):
+    if condition:
+        print("  PASS %s" % label)
+    else:
+        print("  FAIL %s" % label)
+        failures.append(label)
+
+
+def selftest():
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="doc_lint_selftest_") as root:
+        def write_file(rel, text):
+            path = os.path.join(root, rel)
+            os.makedirs(os.path.dirname(path) or root, exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(text)
+
+        write_file("DESIGN.md", "## §1 One\n\nBody.\n\n### §1.1 Sub\n\n"
+                   "## §2 Two\n\nSee DESIGN.md §1.\n")
+        write_file("ROADMAP.md", "Nothing here.\n")
+        write_file("src/io/README.md", "See DESIGN.md §2.\n")
+        write_file(
+            "README.md",
+            "[design](DESIGN.md) [io](src/io/README.md#anchor)\n"
+            "[web](https://example.com/x) [frag](#local)\n"
+            "### ltc_serve operator flags\n\n"
+            "| Flag | Default |\n|---|---|\n"
+            "| `--events` | `\"\"` |\n| `--deadline` | `0` |\n\n"
+            "## Next\n\nbench: --figure and --reps.\n",
+        )
+        write_file(
+            "src/svc/serve_main.cc",
+            'Flag<std::string> FLAG_events("events", "", "replay");\n'
+            'Flag<std::string> FLAG_deadline(\n    "deadline", "0", "x");\n',
+        )
+        write_file(
+            "src/exp/suite_main.cc",
+            'Flag<std::string> FLAG_figure("figure", "", "suite");\n'
+            'Flag<std::int64_t> FLAG_reps("reps", 3, "reps");\n',
+        )
+        write_file("bench/bench_stream_throughput.cc", "// no flags yet\n")
+        write_file("src/good.h", "// DESIGN.md §1 and DESIGN.md section 2.\n")
+
+        print("selftest: clean synthetic repo")
+        expect(run_checks(root) == [], "clean repo lints clean", failures)
+
+        print("selftest: section parsing")
+        sections = design_sections(read(os.path.join(root, "DESIGN.md")))
+        expect(sections == {1, 2}, "headings parsed (§1, §2)", failures)
+
+        print("selftest: dangling citation is caught")
+        write_file("src/bad.h", "// DESIGN.md §9 does not exist.\n")
+        errors = run_checks(root)
+        expect(any("src/bad.h" in e and "§9" in e for e in errors),
+               "dangling §9 citation reported", failures)
+        os.remove(os.path.join(root, "src/bad.h"))
+
+        print("selftest: broken markdown link is caught")
+        write_file("ROADMAP.md", "[gone](missing_file.md)\n")
+        errors = run_checks(root)
+        expect(any("missing_file.md" in e for e in errors),
+               "broken relative link reported", failures)
+        write_file("ROADMAP.md", "Nothing here.\n")
+
+        print("selftest: flag extraction and drift")
+        flags = defined_flags(read(os.path.join(root, "src/svc/serve_main.cc")))
+        expect(flags == ["deadline", "events"],
+               "flag names extracted (wrapped literal included)", failures)
+        write_file(
+            "src/svc/serve_main.cc",
+            'Flag<std::string> FLAG_events("events", "", "replay");\n'
+            'Flag<std::string> FLAG_deadline("deadline", "0", "x");\n'
+            'Flag<bool> FLAG_new_toggle("new_toggle", false, "undoc");\n',
+        )
+        errors = run_checks(root)
+        expect(any("--new_toggle" in e for e in errors),
+               "undocumented ltc_serve flag reported", failures)
+        write_file(
+            "src/exp/suite_main.cc",
+            'Flag<std::string> FLAG_figure("figure", "", "suite");\n'
+            'Flag<std::int64_t> FLAG_secret("secret", 3, "undoc");\n',
+        )
+        errors = run_checks(root)
+        expect(any("--secret" in e for e in errors),
+               "undocumented bench flag reported", failures)
+
+    if failures:
+        print("doc_lint selftest: %d FAILED" % len(failures))
+        return 1
+    print("doc_lint selftest: all checks passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: the tool's parent)")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the lint's own unit checks and exit")
+    args = parser.parse_args()
+
+    if args.selftest:
+        return selftest()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    errors = run_checks(root)
+    if errors:
+        for error in errors:
+            print(error)
+        print("doc_lint: %d problem(s)" % len(errors))
+        return 1
+    print("doc_lint: OK (citations, links, and flag tables all resolve)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
