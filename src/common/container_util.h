@@ -1,0 +1,34 @@
+// Container helpers for determinism-sensitive paths (DESIGN.md §14).
+//
+// Iterating a std::unordered_map/set feeds hash-order — which varies across
+// libraries, ASLR runs, and insertion histories — into whatever the loop
+// produces. In a serialize/log path that turns byte-identity into luck.
+// tools/ltc_lint.py bans raw unordered iteration in those paths; code that
+// needs a deterministic view routes through these helpers instead.
+
+#ifndef LTC_COMMON_CONTAINER_UTIL_H_
+#define LTC_COMMON_CONTAINER_UTIL_H_
+
+#include <algorithm>
+#include <vector>
+
+namespace ltc {
+
+/// Keys of an associative container, sorted ascending. The canonical way to
+/// walk a hash map in a serialize path: iterate SortedKeys(m) and look each
+/// key up, so the emitted order is a pure function of the container's
+/// *contents*.
+template <typename Map>
+std::vector<typename Map::key_type> SortedKeys(const Map& map) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(map.size());
+  // ltc-lint: allow(unordered-iteration) — this helper exists to convert
+  // hash order into sorted order; the unordered walk never escapes it.
+  for (const auto& entry : map) keys.push_back(entry.first);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace ltc
+
+#endif  // LTC_COMMON_CONTAINER_UTIL_H_

@@ -13,19 +13,19 @@ FaultPoints& FaultPoints::Instance() {
 
 void FaultPoints::Arm(const std::string& point, std::int64_t countdown,
                       const std::string& action) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   armed_[point] = Entry{countdown, action};
   any_armed_.store(true, std::memory_order_release);
 }
 
 void FaultPoints::Disarm(const std::string& point) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   armed_.erase(point);
   if (armed_.empty()) any_armed_.store(false, std::memory_order_release);
 }
 
 void FaultPoints::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   armed_.clear();
   any_armed_.store(false, std::memory_order_release);
 }
@@ -34,7 +34,7 @@ std::optional<std::string> FaultPoints::Hit(const std::string& point) {
   if (!any_armed_.load(std::memory_order_acquire)) return std::nullopt;
   std::string action;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = armed_.find(point);
     if (it == armed_.end()) return std::nullopt;
     if (--it->second.countdown > 0) return std::nullopt;

@@ -24,10 +24,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+
+#include "common/thread_annotations.h"
 
 namespace ltc {
 
@@ -40,18 +41,18 @@ class FaultPoints {
   /// "exitNNN", which _Exit(NNN)s the process from inside Hit(). Re-arming
   /// an armed point replaces its countdown and action.
   void Arm(const std::string& point, std::int64_t countdown,
-           const std::string& action = "fail");
+           const std::string& action = "fail") LTC_EXCLUDES(mu_);
 
   /// Disarms one point (no-op if unarmed).
-  void Disarm(const std::string& point);
+  void Disarm(const std::string& point) LTC_EXCLUDES(mu_);
 
   /// Disarms everything. Call between tests.
-  void Reset();
+  void Reset() LTC_EXCLUDES(mu_);
 
   /// Reports reaching `point`. Returns the armed action when this hit fires
   /// (the point disarms itself on firing), std::nullopt otherwise. "exitNNN"
   /// actions never return: the process exits with code NNN.
-  std::optional<std::string> Hit(const std::string& point);
+  std::optional<std::string> Hit(const std::string& point) LTC_EXCLUDES(mu_);
 
   /// Arms points from an environment variable (default LTC_FAULTS), format
   ///   point=countdown[:action][;point=countdown[:action]]...
@@ -70,8 +71,8 @@ class FaultPoints {
 
   // Fast-path gate: unarmed processes (i.e. production) never take the lock.
   std::atomic<bool> any_armed_{false};
-  std::mutex mu_;
-  std::unordered_map<std::string, Entry> armed_;
+  Mutex mu_;
+  std::unordered_map<std::string, Entry> armed_ LTC_GUARDED_BY(mu_);
 };
 
 }  // namespace ltc

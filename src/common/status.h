@@ -37,7 +37,13 @@ const char* StatusCodeName(StatusCode code);
 /// An OK status carries no allocation; error statuses carry a code and a
 /// human-readable message. Statuses are cheap to move and to copy in the OK
 /// case.
-class Status {
+///
+/// The class is [[nodiscard]]: a returned Status that nobody inspects is a
+/// compile-time warning (-Werror in CI), because a silently dropped error is
+/// exactly how a torn WAL or failed snapshot goes unnoticed until replay.
+/// The rare intentional discard goes through LTC_IGNORE_STATUS so the
+/// intent is visible at the call site and to tools/ltc_lint.py.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -127,7 +133,7 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 ///   Use(r.value());
 /// \endcode
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit construction from a value (OK).
   StatusOr(T value) : var_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -170,6 +176,17 @@ class StatusOr {
  private:
   std::variant<Status, T> var_;
 };
+
+namespace status_internal {
+template <typename T>
+inline void IgnoreStatus(T&&) {}
+}  // namespace status_internal
+
+/// Explicitly discards a Status (or StatusOr) return value. The ONLY
+/// sanctioned way to ignore one: it defeats [[nodiscard]] visibly, greps
+/// cleanly, and every use should say in a comment why dropping the error is
+/// sound (e.g. best-effort cleanup on an already-failing path).
+#define LTC_IGNORE_STATUS(expr) ::ltc::status_internal::IgnoreStatus((expr))
 
 /// Propagates a non-OK Status from the enclosing function.
 #define LTC_RETURN_IF_ERROR(expr)                    \

@@ -11,13 +11,13 @@
 #ifndef LTC_COMMON_THREAD_POOL_H_
 #define LTC_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace ltc {
 
@@ -37,7 +37,7 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues `fn`. Tasks start in submission order across the pool.
-  std::future<void> Submit(std::function<void()> fn);
+  std::future<void> Submit(std::function<void()> fn) LTC_EXCLUDES(mu_);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
@@ -46,12 +46,12 @@ class ThreadPool {
   static int DefaultThreads();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() LTC_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::packaged_task<void()>> queue_;  // guarded by mu_
-  bool stop_ = false;                             // guarded by mu_
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::packaged_task<void()>> queue_ LTC_GUARDED_BY(mu_);
+  bool stop_ LTC_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

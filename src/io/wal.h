@@ -54,6 +54,11 @@ struct WalRecovery {
 };
 
 /// \brief Append-only ltc-events writer with group-commit durability.
+///
+/// Single-threaded by contract: the serving loop appends from the engine
+/// thread only (the ingest queue is the cross-thread boundary — see
+/// common/bounded_queue.h), so the writer carries no mutex and no
+/// LTC_GUARDED_BY annotations (DESIGN.md §14).
 class EventLogWriter {
  public:
   /// Creates (or truncates) the WAL at `path` and durably writes the header

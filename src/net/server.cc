@@ -139,7 +139,7 @@ Status IngestServer::HandleFrame(const Frame& frame, Ack* ack, bool* finish) {
       // event has been applied when the client sees it.
       LTC_RETURN_IF_ERROR(DrainQueue());
       {
-        std::lock_guard<std::mutex> lock(ingest_mu_);
+        MutexLock lock(&ingest_mu_);
         if (!ingest_status_.ok()) {
           ack->code = ingest_status_.code();
           ack->message = ingest_status_.message();
@@ -175,14 +175,14 @@ Status IngestServer::Serve(const std::atomic<bool>* stop_flag) {
     io::Event event;
     while (queue_.Pop(&event)) {
       {
-        std::lock_guard<std::mutex> lock(ingest_mu_);
+        MutexLock lock(&ingest_mu_);
         // A failed ingest poisons the stream: keep draining so producers
         // never jam, but apply nothing further.
         if (!ingest_status_.ok()) continue;
       }
       const Status status = service_->Ingest(event);
       if (!status.ok()) {
-        std::lock_guard<std::mutex> lock(ingest_mu_);
+        MutexLock lock(&ingest_mu_);
         if (ingest_status_.ok()) ingest_status_ = status;
       }
     }
@@ -262,7 +262,7 @@ Status IngestServer::Serve(const std::atomic<bool>* stop_flag) {
 
   LTC_RETURN_IF_ERROR(DrainQueue());
   LTC_RETURN_IF_ERROR(serve_status);
-  std::lock_guard<std::mutex> lock(ingest_mu_);
+  MutexLock lock(&ingest_mu_);
   return ingest_status_;
 }
 

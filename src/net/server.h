@@ -25,13 +25,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/bounded_queue.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "io/event_log.h"
 #include "net/frame.h"
 #include "net/socket.h"
@@ -113,8 +113,10 @@ class IngestServer {
   bool drained_ = false;
 
   std::thread consumer_;
-  std::mutex ingest_mu_;
-  Status ingest_status_;  // first consumer-side failure (guarded)
+  Mutex ingest_mu_;
+  /// First consumer-side failure; written by the consumer thread, read by
+  /// the serve loop at drain/finish points.
+  Status ingest_status_ LTC_GUARDED_BY(ingest_mu_);
 };
 
 }  // namespace net

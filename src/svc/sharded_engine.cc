@@ -4,6 +4,7 @@
 #include <future>
 #include <utility>
 
+#include "common/container_util.h"
 #include "common/string_util.h"
 #include "geo/metric.h"
 #include "geo/point.h"
@@ -126,11 +127,8 @@ Status ShardedStreamEngine::SerializeTo(std::string* out) const {
   }
 
   // Hash-map state in sorted key order: snapshot bytes must not depend on
-  // iteration order.
-  std::vector<model::TaskId> displaced_keys;
-  displaced_keys.reserve(displaced_.size());
-  for (const auto& [task, d] : displaced_) displaced_keys.push_back(task);
-  std::sort(displaced_keys.begin(), displaced_keys.end());
+  // iteration order (common::SortedKeys is the lint-sanctioned walk).
+  const std::vector<model::TaskId> displaced_keys = SortedKeys(displaced_);
   out->append(StrFormat("displaced %lld\n",
                         static_cast<long long>(displaced_keys.size())));
   for (const model::TaskId task : displaced_keys) {
@@ -139,10 +137,7 @@ Status ShardedStreamEngine::SerializeTo(std::string* out) const {
                           static_cast<long long>(task), d.owner, d.location.x,
                           d.location.y));
   }
-  std::vector<model::WorkerIndex> claim_keys;
-  claim_keys.reserve(claims_.size());
-  for (const auto& [worker, c] : claims_) claim_keys.push_back(worker);
-  std::sort(claim_keys.begin(), claim_keys.end());
+  const std::vector<model::WorkerIndex> claim_keys = SortedKeys(claims_);
   out->append(StrFormat("claims %lld\n",
                         static_cast<long long>(claim_keys.size())));
   for (const model::WorkerIndex worker : claim_keys) {

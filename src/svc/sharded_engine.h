@@ -52,6 +52,11 @@ namespace svc {
 /// Finish surface as StreamEngine; Create accepts options.shards >= 1
 /// (shards == 1 degenerates to a single pipeline and reproduces the classic
 /// engine's assignment sequence exactly — pinned by tests/svc_shard_test).
+///
+/// Engine-thread-only, including the cross-shard claim tables: workers fan
+/// out through the pool only inside phases where the engine thread blocks
+/// on their futures and pipelines touch disjoint state, so there is no
+/// lock and no LTC_GUARDED_BY surface here by design (DESIGN.md §14).
 class ShardedStreamEngine {
  public:
   static StatusOr<std::unique_ptr<ShardedStreamEngine>> Create(

@@ -64,6 +64,10 @@ Status FieldDouble(const std::vector<std::string>& fields, std::size_t i,
 }  // namespace snap
 
 /// \brief Atomic, CRC-guarded snapshot files in one state directory.
+///
+/// Single-threaded by contract: only the serving loop's engine thread
+/// writes or loads snapshots (between event batches), so the store carries
+/// no mutex and no LTC_GUARDED_BY annotations (DESIGN.md §14).
 class SnapshotStore {
  public:
   /// Opens (creating if needed) the store rooted at `dir`.

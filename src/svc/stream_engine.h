@@ -210,7 +210,11 @@ Status ConsumeFutures(std::vector<std::future<void>>* futures,
 /// except that (a) GatherSlot calls with distinct slot indices may run
 /// concurrently once the engine stopped mutating, and (b) CommitBatch
 /// calls on *different* pipelines may run concurrently (a pipeline touches
-/// only its own state).
+/// only its own state). This affinity protocol — not a mutex — is the
+/// synchronisation story here, which is why no member carries
+/// LTC_GUARDED_BY: there is no capability to guard with, and a lock would
+/// be pure overhead on the hot path (DESIGN.md §14). The determinism tests
+/// (byte-identical logs for any --threads) are what pin the protocol.
 class StreamPipeline {
  public:
   struct Config {

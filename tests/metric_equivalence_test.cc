@@ -80,7 +80,7 @@ TEST(MetricEquivalenceTest, StreamLogsAreByteIdentical) {
   ASSERT_TRUE(rebound.ok()) << rebound.status().ToString();
   rebound_log.accuracy = std::move(rebound).value();
 
-  for (const std::string& algorithm : {"Random", "LAF", "AAM", "MCF"}) {
+  for (const char* algorithm : {"Random", "LAF", "AAM", "MCF"}) {
     for (const int shards : {1, 3}) {
       StreamOptions options;
       options.algorithm = algorithm;

